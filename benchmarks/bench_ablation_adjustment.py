@@ -1,0 +1,13 @@
+"""Ablation benchmark: Algorithm 1 vote re-adjustment step on/off."""
+
+from conftest import run_experiment
+
+from repro.experiments.ablations import run_adjustment_ablation
+
+
+def test_bench_ablation_adjustment(benchmark):
+    result = run_experiment(benchmark, run_adjustment_ablation, trials=2, seed=1)
+    by_adjustment = {p.parameters["adjustment"]: p.metrics for p in result.points}
+    # The adjustment exists to curb false positives: precision with it should
+    # be at least as good as without it (paper reports a ~5% FP reduction).
+    assert by_adjustment["paths"]["precision_007"] >= by_adjustment["none"]["precision_007"] - 0.05

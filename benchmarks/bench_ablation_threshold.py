@@ -1,0 +1,14 @@
+"""Ablation benchmark: Algorithm 1 detection-threshold sweep."""
+
+from conftest import run_experiment
+
+from repro.experiments.ablations import run_threshold_ablation
+
+
+def test_bench_ablation_threshold(benchmark):
+    result = run_experiment(
+        benchmark, run_threshold_ablation, thresholds=(0.005, 0.01, 0.05), trials=2, seed=1
+    )
+    # Higher thresholds cannot increase recall (fewer links pass the bar).
+    recalls = result.metric_series("recall_007")
+    assert recalls[0] >= recalls[-1] - 1e-9

@@ -1,0 +1,10 @@
+"""Ablation benchmark: 1/h votes vs unit votes."""
+
+from conftest import run_experiment
+
+from repro.experiments.ablations import run_vote_policy_ablation
+
+
+def test_bench_ablation_vote_value(benchmark):
+    result = run_experiment(benchmark, run_vote_policy_ablation, trials=2, seed=1)
+    assert {p.parameters["vote_policy"] for p in result.points} == {"inverse_hops", "unit"}

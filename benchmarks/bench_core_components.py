@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the core components (overhead story of Section 3).
+
+The paper stresses that 007 is lightweight: negligible CPU, tiny memory, and
+an analysis step cheap enough to run centrally every 30 seconds.  These
+micro-benchmarks measure the throughput of the building blocks: ECMP routing,
+flow transfer simulation, vote tallying, Algorithm 1, and traceroute path
+discovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blame import BlameConfig, find_problematic_links
+from repro.core.votes import VoteTally
+from repro.discovery.icmp import IcmpRateLimiter
+from repro.discovery.traceroute import TracerouteEngine
+from repro.netsim.links import LinkStateTable
+from repro.netsim.tcp import simulate_transfer
+from repro.routing.ecmp import EcmpRouter
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.clos import ClosParameters, ClosTopology
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    topology = ClosTopology(ClosParameters(npod=2, n0=10, n1=4, n2=4, hosts_per_tor=3))
+    router = EcmpRouter(topology, rng=0)
+    link_table = LinkStateTable(topology, rng=0)
+    hosts = sorted(topology.hosts)
+    return topology, router, link_table, hosts
+
+
+def _flow(i: int, hosts) -> tuple[FiveTuple, str, str]:
+    src = hosts[i % len(hosts)]
+    dst = hosts[(i * 7 + 13) % len(hosts)]
+    if dst == src:
+        dst = hosts[(i * 7 + 14) % len(hosts)]
+    return FiveTuple(src, dst, 1024 + i, 443), src, dst
+
+
+def test_bench_ecmp_routing(benchmark, fabric):
+    """Route 1000 flows through the fabric."""
+    topology, router, _, hosts = fabric
+
+    def route_many():
+        for i in range(1000):
+            flow, src, dst = _flow(i, hosts)
+            router.route(flow, src, dst)
+
+    benchmark(route_many)
+
+
+def test_bench_flow_transfer(benchmark, fabric):
+    """Simulate the TCP transfer of 500 flows of 100 packets."""
+    topology, router, link_table, hosts = fabric
+    paths = []
+    for i in range(500):
+        flow, src, dst = _flow(i, hosts)
+        paths.append(router.route(flow, src, dst))
+
+    def transfer_many():
+        for i, path in enumerate(paths):
+            simulate_transfer(path, 100, link_table, rng=i)
+
+    benchmark(transfer_many)
+
+
+def test_bench_vote_tally_and_blame(benchmark, fabric):
+    """Tally votes for 2000 failed flows and run Algorithm 1."""
+    topology, router, _, hosts = fabric
+    link_lists = []
+    for i in range(2000):
+        flow, src, dst = _flow(i, hosts)
+        link_lists.append(router.route(flow, src, dst).links)
+
+    def tally_and_blame():
+        tally = VoteTally()
+        for flow_id, links in enumerate(link_lists):
+            tally.add_flow(flow_id, links)
+        return find_problematic_links(tally, BlameConfig())
+
+    benchmark(tally_and_blame)
+
+
+def test_bench_traceroute(benchmark, fabric):
+    """Trace 500 flows with the crafted-probe engine."""
+    topology, router, link_table, hosts = fabric
+    engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0)
+
+    def trace_many():
+        for i in range(500):
+            flow, src, dst = _flow(i, hosts)
+            engine.trace(flow, src, dst, time_s=float(i % 30))
+
+    benchmark(trace_many)

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 1 (motivation CDFs)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig01_motivation import run_fig01
+
+
+def test_bench_fig01_motivation(benchmark):
+    result = run_experiment(benchmark, run_fig01, epochs=6, num_bad_links=3, seed=1)
+    panel_1a = [p for p in result.points if p.parameters["panel"] == "1a"]
+    assert panel_1a, "Figure 1a rows must be produced"

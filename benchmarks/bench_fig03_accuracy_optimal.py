@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (accuracy vs #failed links, Theorem 2 regime)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig03_accuracy_optimal import run_fig03
+
+
+def test_bench_fig03_accuracy(benchmark):
+    result = run_experiment(
+        benchmark, run_fig03, failed_link_counts=(2, 6, 10), trials=2, seed=1
+    )
+    accuracies = result.metric_series("accuracy_007")
+    # Paper: average accuracy above ~96% in the Theorem 2 regime.
+    assert all(a >= 0.7 for a in accuracies)

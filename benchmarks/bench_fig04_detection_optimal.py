@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 4 (Algorithm 1 precision/recall, Theorem 2 regime)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig04_detection_optimal import run_fig04
+
+
+def test_bench_fig04_detection(benchmark):
+    result = run_experiment(
+        benchmark, run_fig04, failed_link_counts=(2, 6, 10), trials=2, seed=1
+    )
+    recalls = result.metric_series("recall_007")
+    assert all(r >= 0.5 for r in recalls)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 (accuracy vs failed-link drop rates)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig05_drop_rates import run_fig05
+
+
+def test_bench_fig05_drop_rates(benchmark):
+    result = run_experiment(benchmark, run_fig05, trials=2, seed=1)
+    assert len(result.points) >= 8

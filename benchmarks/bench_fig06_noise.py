@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6 (impact of noise on accuracy)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig06_noise import run_fig06
+
+
+def test_bench_fig06_noise(benchmark):
+    result = run_experiment(
+        benchmark, run_fig06, noise_levels=(1e-6, 1e-5, 5e-5), trials=2, seed=1
+    )
+    accuracies = result.metric_series("accuracy_007")
+    # 007 should stay accurate as noise increases (paper: little sensitivity).
+    assert min(accuracies) >= 0.6

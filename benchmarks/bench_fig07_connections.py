@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 (random per-host connection counts)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig07_connections import run_fig07
+
+
+def test_bench_fig07_connections(benchmark):
+    result = run_experiment(benchmark, run_fig07, trials=2, seed=1)
+    assert len(result.points) >= 8

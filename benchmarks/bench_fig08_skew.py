@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 (skewed traffic)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig08_skew import run_fig08
+
+
+def test_bench_fig08_skew(benchmark):
+    result = run_experiment(benchmark, run_fig08, trials=2, seed=1)
+    assert len(result.points) >= 8

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (hot ToR skew sweep)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig09_hot_tor import run_fig09
+
+
+def test_bench_fig09_hot_tor(benchmark):
+    result = run_experiment(
+        benchmark,
+        run_fig09,
+        skews=(0.1, 0.5, 0.7),
+        failed_link_counts=(1, 5, 10),
+        trials=1,
+        seed=1,
+    )
+    assert len(result.points) == 9

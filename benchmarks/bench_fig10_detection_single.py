@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 10 (Algorithm 1 vs drop rate, single failure)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig10_detection_single import run_fig10
+
+
+def test_bench_fig10_detection_single(benchmark):
+    result = run_experiment(benchmark, run_fig10, trials=2, seed=1)
+    # At the higher drop rates detection should be reliable.
+    high_rate_points = [p for p in result.points if p.parameters["drop_rate"] >= 5e-3]
+    assert all(p.metrics["recall_007"] >= 0.5 for p in high_rate_points)

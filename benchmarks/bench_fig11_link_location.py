@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (impact of failed-link location)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig11_link_location import run_fig11
+
+
+def test_bench_fig11_link_location(benchmark):
+    result = run_experiment(
+        benchmark, run_fig11, drop_rates=(1e-3, 5e-3, 1e-2), trials=2, seed=1
+    )
+    locations = {p.parameters["location"] for p in result.points}
+    assert locations == {"ToR-T1", "T1-T2", "T2-T1", "T1-ToR"}

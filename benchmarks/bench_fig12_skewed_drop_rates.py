@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12 (heavily skewed drop rates across failures)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig12_skewed_drop_rates import run_fig12
+
+
+def test_bench_fig12_skewed_drop_rates(benchmark):
+    result = run_experiment(
+        benchmark, run_fig12, failed_link_counts=(2, 6, 10), trials=2, seed=1
+    )
+    # Paper's shape: precision stays high even with heavily skewed drop rates,
+    # while recall degrades as the dominant failure inflates the threshold.
+    precisions = result.metric_series("precision_007")
+    assert all(p >= 0.5 for p in precisions)
+    recalls = result.metric_series("recall_007")
+    assert all(0.0 <= r <= 1.0 for r in recalls)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 13 (test-cluster vote gap distribution)."""
+
+from conftest import run_experiment
+
+from repro.experiments.fig13_testcluster_votes import run_fig13
+
+
+def test_bench_fig13_testcluster(benchmark):
+    result = run_experiment(benchmark, run_fig13, epochs=4, seed=1)
+    # Higher drop rates must widen the bad-vs-good vote gap (monotone trend).
+    gaps = result.metric_series("median_vote_gap")
+    assert gaps[0] >= gaps[-1]

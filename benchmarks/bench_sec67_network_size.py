@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Section 6.7 network-size study."""
+
+from conftest import run_experiment
+
+from repro.experiments.sec67_network_size import run_sec67
+
+
+def test_bench_sec67_network_size(benchmark):
+    result = run_experiment(
+        benchmark, run_sec67, pod_counts=(1, 2, 3), trials=1, seed=1, many_failures=20
+    )
+    assert len(result.points) == 4

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Section 7.2 two-link test-cluster experiment."""
+
+from conftest import run_experiment
+
+from repro.experiments.sec72_two_links import run_sec72
+
+
+def test_bench_sec72_two_links(benchmark):
+    result = run_experiment(benchmark, run_sec72, epochs=3, seed=1)
+    point = result.points[0]
+    # Paper: ~90% of flows attributed to the correct (higher drop rate) link.
+    assert point.metrics["per_connection_accuracy"] >= 0.6

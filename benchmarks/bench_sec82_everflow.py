@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Section 8.2 Everflow cross-validation."""
+
+from conftest import run_experiment
+
+from repro.experiments.sec82_everflow_validation import run_sec82
+
+
+def test_bench_sec82_everflow(benchmark):
+    result = run_experiment(benchmark, run_sec82, epochs=3, seed=1)
+    point = result.points[0]
+    # Paper: 007 matched Everflow in every compared case; paths matched exactly.
+    assert point.metrics["path_match_rate"] >= 0.9

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section 8.3 / Figure 14 VM-reboot diagnosis."""
+
+from conftest import run_experiment
+
+from repro.experiments.sec83_vm_reboots import run_sec83
+
+
+def test_bench_sec83_vm_reboots(benchmark):
+    result = run_experiment(benchmark, run_sec83, epochs=6, seed=1)
+    point = result.points[0]
+    # Every reboot should receive a named cause (paper: a link found per case).
+    assert point.metrics["total_reboots"] >= 1
+    assert point.metrics["frac_reboots_with_cause_named"] >= 0.8

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (ICMP responses per second per switch)."""
+
+from conftest import run_experiment
+
+from repro.experiments.table1_icmp import run_table1
+
+
+def test_bench_table1_icmp(benchmark):
+    result = run_experiment(benchmark, run_table1, epochs=6, num_bad_links=4, seed=1)
+    ours = result.points[0].metrics
+    # Theorem 1's budget must hold: the max per-second rate stays below Tmax.
+    assert ours["max_T"] <= ours["tmax"]

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Beyond packet drops: latency diagnosis and fleet-wide link health.
+
+Two of the paper's discussion-section extensions in one script:
+
+1. **Latency diagnosis (Section 9.2)** — a link silently adds 2 ms of queueing
+   delay; thresholding smoothed RTTs and reusing the voting scheme points at
+   the culprit cable.
+2. **Multi-epoch aggregation (Section 8.3)** — a lossy link is tracked across
+   several epochs; the aggregator surfaces it as a recurrent offender and
+   reports the per-level breakdown operators use to prioritise repairs.
+
+Run with:  python examples/latency_and_fleet_health.py
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregate import MultiEpochAggregator
+from repro.core.latency import LatencyDiagnosis, RttObservation
+from repro.core.pipeline import SystemConfig, Zero07System
+from repro.netsim.failures import FailureInjector
+from repro.netsim.latency import LinkLatencyModel
+from repro.netsim.links import LinkStateTable
+from repro.netsim.traffic import UniformTraffic
+from repro.routing.ecmp import EcmpRouter
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.clos import ClosParameters, ClosTopology
+
+
+def latency_diagnosis(topology: ClosTopology) -> None:
+    print("=== latency diagnosis (Section 9.2 extension) ===")
+    router = EcmpRouter(topology, rng=3)
+    latency = LinkLatencyModel(topology, rng=3)
+
+    # A T1->ToR link develops 2 ms of extra queueing delay.
+    hosts = sorted(topology.hosts)
+    slow_path = router.route(FiveTuple(hosts[0], hosts[-1], 1000, 443), hosts[0], hosts[-1])
+    slow_link = slow_path.links[-2]
+    latency.inflate_link(slow_link, 2000.0)
+    print(f"injected +2 ms of delay on {slow_link}")
+
+    observations = []
+    flow_id = 0
+    for src in hosts:
+        for port in range(1000, 1008):
+            dst = hosts[(hosts.index(src) + 7) % len(hosts)]
+            if dst == src or topology.host(dst).tor == topology.host(src).tor:
+                continue
+            flow = FiveTuple(src, dst, port, 443)
+            path = router.route(flow, src, dst)
+            observations.append(
+                RttObservation.from_path(flow_id, latency.sample_smoothed_rtt(path), path)
+            )
+            flow_id += 1
+
+    report = LatencyDiagnosis(baseline_multiplier=1.5).analyze(observations)
+    print(
+        f"{len(report.slow_flows)} of {len(observations)} flows exceeded the "
+        f"{report.threshold_us:.0f} us threshold; top suspects:"
+    )
+    for link, votes in report.ranked_links[:3]:
+        marker = "  <-- delayed link" if link.undirected() == slow_link.undirected() else ""
+        print(f"  {votes:6.2f}  {link}{marker}")
+    print()
+
+
+def fleet_health(topology: ClosTopology) -> None:
+    print("=== fleet-wide link health over a morning of epochs (Section 8.3) ===")
+    link_table = LinkStateTable(topology, rng=9)
+    injector = FailureInjector(topology, link_table, rng=9)
+    scenario = injector.inject_random_failures(2, drop_rate_range=(2e-3, 8e-3))
+    for link in scenario.bad_links:
+        print(f"injected failure: {link} at {scenario.drop_rates[link]:.2%}")
+
+    traffic = UniformTraffic(topology, connections_per_host=40, packets_per_flow=100)
+    system = Zero07System(topology, traffic, link_table, SystemConfig(), rng=13)
+    aggregator = MultiEpochAggregator(topology=topology)
+    for epoch in range(6):
+        _, report = system.run_epoch(epoch)
+        aggregator.ingest(report)
+
+    mean_detections, std_detections = aggregator.detections_per_epoch()
+    print(f"\nlinks flagged per epoch: {mean_detections:.2f} +/- {std_detections:.2f}")
+    print("recurrent offenders (detected in >= 3 epochs):")
+    for record in aggregator.recurrent_offenders(min_epochs_detected=3):
+        marker = "  <-- injected failure" if record.link in set(scenario.bad_links) else ""
+        print(
+            f"  {record.link}: detected in {record.epochs_detected}/6 epochs, "
+            f"avg {record.mean_votes_when_voted:.1f} votes{marker}"
+        )
+    print("detection breakdown by link level:", aggregator.detection_breakdown_by_level())
+
+
+def main() -> None:
+    topology = ClosTopology(ClosParameters(npod=2, n0=8, n1=4, n2=4, hosts_per_tor=3))
+    latency_diagnosis(topology)
+    fleet_health(topology)
+
+
+if __name__ == "__main__":
+    main()

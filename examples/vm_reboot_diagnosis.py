@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Diagnosing VM reboots caused by network drops (the paper's motivating workload).
+
+VM images are mounted over the network from a storage service; even brief
+outages on the path panic the guest and reboot it, and in the paper's
+datacenters 70% of such reboots had no explanation from existing monitoring.
+This example marks a quarter of all flows as storage (image-mount) flows,
+injects a couple of lossy links, lets the VM-reboot model fire, and shows the
+culprit link 007 names for every reboot.
+
+Run with:  python examples/vm_reboot_diagnosis.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.pipeline import SystemConfig, Zero07System
+from repro.experiments.sec83_vm_reboots import StorageTraffic
+from repro.netsim.failures import FailureInjector, VmRebootModel
+from repro.netsim.links import LinkStateTable
+from repro.topology.clos import ClosParameters, ClosTopology
+from repro.topology.elements import LinkLevel
+
+
+def main() -> None:
+    topology = ClosTopology(ClosParameters(npod=2, n0=8, n1=4, n2=4, hosts_per_tor=3))
+    link_table = LinkStateTable(topology, rng=5)
+    injector = FailureInjector(topology, link_table, rng=5)
+    scenario = injector.inject_random_failures(
+        2,
+        drop_rate_range=(5e-3, 3e-2),
+        levels=(LinkLevel.HOST, LinkLevel.LEVEL1),
+    )
+    print("injected failures:")
+    for link in scenario.bad_links:
+        print(f"  {link} at {scenario.drop_rates[link]:.2%}")
+
+    traffic = StorageTraffic(
+        topology, connections_per_host=40, packets_per_flow=100, storage_fraction=0.25
+    )
+    system = Zero07System(topology, traffic, link_table, SystemConfig(), rng=11)
+    reboot_model = VmRebootModel(retransmission_threshold=3)
+
+    total_reboots = 0
+    explained = Counter()
+    for epoch in range(4):
+        sim_result, report = system.run_epoch(epoch)
+        reboots = reboot_model.reboots_for_epoch(sim_result.flows)
+        total_reboots += len(reboots)
+        for reboot in reboots:
+            cause = None
+            for flow in sim_result.flows:
+                if (
+                    flow.kind == "storage"
+                    and flow.src_host == reboot.host
+                    and flow.has_retransmission
+                ):
+                    cause = report.cause_of_flow(flow.flow_id)
+                    break
+            if cause is None and report.detected_links:
+                cause = report.detected_links[0]
+            label = str(cause) if cause is not None else "unexplained"
+            explained[label] += 1
+            print(
+                f"epoch {epoch}: VM on {reboot.host} rebooted "
+                f"({reboot.retransmissions} retransmissions on its image mount) "
+                f"-> blamed link: {label}"
+            )
+
+    print(f"\n{total_reboots} reboots total; blame breakdown:")
+    for label, count in explained.most_common():
+        print(f"  {count:3d}  {label}")
+
+
+if __name__ == "__main__":
+    main()

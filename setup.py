@@ -1,0 +1,4 @@
+"""Setup shim for legacy (non-PEP-660) editable installs on offline hosts."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro: a reproduction of "007: Democratically Finding the Cause of Packet Drops".
+
+The package is organised as a set of substrates (topology, routing, flow-level
+network simulation, load balancing, path discovery, TCP monitoring), the 007
+analysis core (voting, ranking, Algorithm 1), optimization baselines, the
+theoretical bounds from the paper, and an experiment harness that regenerates
+every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import quick_scenario
+>>> report = quick_scenario(num_bad_links=2, seed=7)
+>>> sorted(report.detected_links)[:2]  # doctest: +SKIP
+"""
+
+from repro.core.pipeline import Zero07System, SystemConfig
+from repro.core.analysis import AnalysisAgent, EpochReport
+from repro.core.votes import VoteTally
+from repro.core.blame import find_problematic_links, BlameConfig
+from repro.topology.clos import ClosTopology, ClosParameters
+from repro.routing.ecmp import EcmpRouter
+from repro.netsim.simulator import EpochSimulator, SimulationConfig
+from repro.netsim.links import LinkStateTable
+from repro.netsim.traffic import UniformTraffic, SkewedTraffic, HotTorTraffic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Zero07System",
+    "SystemConfig",
+    "AnalysisAgent",
+    "EpochReport",
+    "VoteTally",
+    "find_problematic_links",
+    "BlameConfig",
+    "ClosTopology",
+    "ClosParameters",
+    "EcmpRouter",
+    "EpochSimulator",
+    "SimulationConfig",
+    "LinkStateTable",
+    "UniformTraffic",
+    "SkewedTraffic",
+    "HotTorTraffic",
+    "quick_scenario",
+    "__version__",
+]
+
+
+def quick_scenario(num_bad_links: int = 1, seed: int = 0, epochs: int = 1):
+    """Run a small end-to-end 007 scenario and return the last epoch report.
+
+    This is a convenience wrapper used by the README quickstart and the
+    doctest suite.  It builds a two-pod Clos topology, injects
+    ``num_bad_links`` random link failures, runs the full 007 pipeline for
+    ``epochs`` epochs and returns the final :class:`EpochReport`.
+    """
+    from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+    config = ScenarioConfig(
+        num_bad_links=num_bad_links,
+        seed=seed,
+        epochs=epochs,
+    )
+    result = run_scenario(config)
+    return result.reports[-1]

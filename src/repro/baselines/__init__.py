@@ -1,0 +1,15 @@
+"""Optimization baselines and ground-truth capture (Everflow-like)."""
+
+from repro.baselines.setcover import greedy_max_coverage
+from repro.baselines.binary_program import BinaryProgramResult, solve_binary_program
+from repro.baselines.integer_program import IntegerProgramResult, solve_integer_program
+from repro.baselines.everflow import EverflowCapture
+
+__all__ = [
+    "greedy_max_coverage",
+    "solve_binary_program",
+    "BinaryProgramResult",
+    "solve_integer_program",
+    "IntegerProgramResult",
+    "EverflowCapture",
+]

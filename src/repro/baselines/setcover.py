@@ -1,0 +1,58 @@
+"""Greedy minimum set cover (Algorithm 2): MAX COVERAGE / Tomo.
+
+The binary program of equation (3) is the NP-hard minimum set cover problem;
+MAX COVERAGE and Tomo approximate it greedily — repeatedly pick the link that
+explains the most still-unexplained failed flows until every failed flow is
+explained.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.elements import DirectedLink
+
+
+def greedy_max_coverage(
+    routing: RoutingMatrix,
+    failed_rows: Optional[Sequence[int]] = None,
+) -> List[DirectedLink]:
+    """Greedy set cover over the failed flows of ``routing``.
+
+    Parameters
+    ----------
+    routing:
+        Routing matrix whose rows are flows with retransmissions.
+    failed_rows:
+        Row indices to cover; defaults to every row (the usual case since the
+        matrix is built only from flows that experienced retransmissions).
+
+    Returns
+    -------
+    list[DirectedLink]
+        The links picked, in pick order (most covering first).
+    """
+    matrix = routing.matrix
+    if failed_rows is None:
+        uncovered = set(range(matrix.shape[0]))
+    else:
+        uncovered = set(int(r) for r in failed_rows)
+    chosen: List[DirectedLink] = []
+
+    while uncovered:
+        rows = np.array(sorted(uncovered), dtype=int)
+        coverage = matrix[rows].sum(axis=0)
+        best_cover = int(coverage.max()) if coverage.size else 0
+        if best_cover == 0:
+            # Remaining failures traverse no known link (e.g. fully partial
+            # traceroutes); they cannot be explained.
+            break
+        # Deterministic tie-break on the link ordering of the matrix columns.
+        best_col = int(np.flatnonzero(coverage == best_cover)[0])
+        chosen.append(routing.links[best_col])
+        explained = rows[matrix[rows, best_col] > 0]
+        uncovered.difference_update(int(r) for r in explained)
+    return chosen

@@ -1,0 +1,195 @@
+"""Command-line interface for the 007 reproduction.
+
+Three subcommands cover the common workflows:
+
+* ``scenario`` — run the full pipeline on a synthetic Clos fabric with injected
+  failures and print the epoch report plus accuracy/precision/recall.
+* ``experiment`` — regenerate one of the paper's tables/figures by name
+  (``fig03``, ``table1``, ``sec83`` ...) and print its rows.
+* ``theory`` — evaluate Theorems 1 and 2 for a given topology sizing.
+
+Installed as the ``repro-007`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.theory.theorem1 import traceroute_rate_bound
+from repro.theory.theorem2 import (
+    max_detectable_bad_links,
+    noise_tolerance_bound,
+)
+from repro.topology.clos import ClosParameters
+
+#: experiment name -> zero-argument callable returning an ExperimentResult.
+def _experiment_registry() -> Dict[str, Callable[[], ExperimentResult]]:
+    from repro.experiments import (
+        ablations,
+        fig01_motivation,
+        fig03_accuracy_optimal,
+        fig04_detection_optimal,
+        fig05_drop_rates,
+        fig06_noise,
+        fig07_connections,
+        fig08_skew,
+        fig09_hot_tor,
+        fig10_detection_single,
+        fig11_link_location,
+        fig12_skewed_drop_rates,
+        fig13_testcluster_votes,
+        sec67_network_size,
+        sec72_two_links,
+        sec82_everflow_validation,
+        sec83_vm_reboots,
+        table1_icmp,
+    )
+
+    return {
+        "fig01": fig01_motivation.run_fig01,
+        "table1": table1_icmp.run_table1,
+        "fig03": fig03_accuracy_optimal.run_fig03,
+        "fig04": fig04_detection_optimal.run_fig04,
+        "fig05": fig05_drop_rates.run_fig05,
+        "fig06": fig06_noise.run_fig06,
+        "fig07": fig07_connections.run_fig07,
+        "fig08": fig08_skew.run_fig08,
+        "fig09": fig09_hot_tor.run_fig09,
+        "fig10": fig10_detection_single.run_fig10,
+        "fig11": fig11_link_location.run_fig11,
+        "fig12": fig12_skewed_drop_rates.run_fig12,
+        "sec67": sec67_network_size.run_sec67,
+        "fig13": fig13_testcluster_votes.run_fig13,
+        "sec72": sec72_two_links.run_sec72,
+        "sec82": sec82_everflow_validation.run_sec82,
+        "sec83": sec83_vm_reboots.run_sec83,
+        "ablations": ablations.run_all_ablations,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-007",
+        description="Reproduction of '007: Democratically Finding the Cause of Packet Drops'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario = subparsers.add_parser("scenario", help="run the full pipeline once")
+    scenario.add_argument("--pods", type=int, default=2)
+    scenario.add_argument("--tors-per-pod", type=int, default=10)
+    scenario.add_argument("--t1-per-pod", type=int, default=4)
+    scenario.add_argument("--t2", type=int, default=4)
+    scenario.add_argument("--hosts-per-tor", type=int, default=3)
+    scenario.add_argument("--bad-links", type=int, default=1)
+    scenario.add_argument("--drop-rate", type=float, default=5e-3)
+    scenario.add_argument("--connections-per-host", type=int, default=40)
+    scenario.add_argument("--epochs", type=int, default=1)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--top", type=int, default=5, help="how many ranked links to print")
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument("name", choices=sorted(_experiment_registry()))
+
+    theory = subparsers.add_parser("theory", help="evaluate Theorems 1 and 2")
+    theory.add_argument("--pods", type=int, default=2)
+    theory.add_argument("--tors-per-pod", type=int, default=20)
+    theory.add_argument("--t1-per-pod", type=int, default=8)
+    theory.add_argument("--t2", type=int, default=8)
+    theory.add_argument("--hosts-per-tor", type=int, default=20)
+    theory.add_argument("--tmax", type=int, default=100)
+    theory.add_argument("--bad-links", type=int, default=10)
+    theory.add_argument("--bad-drop-rate", type=float, default=5e-4)
+    theory.add_argument("--packets-lower", type=int, default=50)
+    theory.add_argument("--packets-upper", type=int, default=100)
+    return parser
+
+
+def _run_scenario_command(args: argparse.Namespace, out) -> int:
+    config = ScenarioConfig(
+        npod=args.pods,
+        n0=args.tors_per_pod,
+        n1=args.t1_per_pod,
+        n2=args.t2,
+        hosts_per_tor=args.hosts_per_tor,
+        num_bad_links=args.bad_links,
+        drop_rate_range=(args.drop_rate, args.drop_rate),
+        connections_per_host=args.connections_per_host,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    result = run_scenario(config)
+    report = result.reports[-1]
+    print(result.topology.describe(), file=out)
+    print("injected failures:", file=out)
+    for link, rate in sorted(result.failure_scenario.drop_rates.items()):
+        print(f"  {link} at {rate:.3%}", file=out)
+    print(report.summary(), file=out)
+    print(f"top {args.top} voted links:", file=out)
+    for link, votes in report.top_links(args.top):
+        print(f"  {votes:8.2f}  {link}", file=out)
+    score = result.detection_007(epoch_index=len(result.reports) - 1)
+    print(
+        f"detection: precision {score.precision:.2f}, recall {score.recall:.2f}; "
+        f"per-flow accuracy {result.accuracy_007(len(result.reports) - 1):.2f}",
+        file=out,
+    )
+    return 0
+
+
+def _run_experiment_command(args: argparse.Namespace, out) -> int:
+    runner = _experiment_registry()[args.name]
+    result = runner()
+    print(result.format_table(), file=out)
+    return 0
+
+
+def _run_theory_command(args: argparse.Namespace, out) -> int:
+    params = ClosParameters(
+        npod=args.pods,
+        n0=args.tors_per_pod,
+        n1=args.t1_per_pod,
+        n2=args.t2,
+        hosts_per_tor=args.hosts_per_tor,
+    )
+    ct = traceroute_rate_bound(params, tmax=args.tmax)
+    print(f"Theorem 1: per-host traceroute budget Ct = {ct:.2f}/s (Tmax={args.tmax})", file=out)
+    if params.npod >= 2:
+        k_max = max_detectable_bad_links(params)
+        print(f"Theorem 2: detectable simultaneous bad links k < {k_max:.1f}", file=out)
+        if args.bad_links < k_max:
+            pg = noise_tolerance_bound(
+                params, args.bad_drop_rate, args.bad_links, args.packets_lower, args.packets_upper
+            )
+            print(
+                f"Theorem 2: with {args.bad_links} bad links at drop rate {args.bad_drop_rate:.2%}, "
+                f"good links may drop up to {pg:.2e} per packet",
+                file=out,
+            )
+        else:
+            print("Theorem 2: requested bad-link count exceeds the detectable bound", file=out)
+    else:
+        print("Theorem 2: requires at least two pods", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _run_scenario_command(args, out)
+    if args.command == "experiment":
+        return _run_experiment_command(args, out)
+    if args.command == "theory":
+        return _run_theory_command(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

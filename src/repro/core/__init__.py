@@ -1,0 +1,40 @@
+"""The 007 analysis core: voting, ranking, Algorithm 1 and the full pipeline."""
+
+from repro.core.votes import VoteContribution, VoteTally
+from repro.core.ranking import attribute_flow_causes, rank_links
+from repro.core.noise import classify_noise_flows
+from repro.core.blame import BlameConfig, BlameResult, find_problematic_links
+from repro.core.analysis import AnalysisAgent, EpochReport
+from repro.core.pipeline import SystemConfig, Zero07System
+from repro.core.switches import (
+    SwitchVoteTally,
+    build_switch_tally,
+    find_problematic_switches,
+    link_tally_to_switch_votes,
+)
+from repro.core.latency import LatencyDiagnosis, LatencyReport, RttObservation
+from repro.core.aggregate import LinkHealthRecord, MultiEpochAggregator
+
+__all__ = [
+    "VoteTally",
+    "VoteContribution",
+    "rank_links",
+    "attribute_flow_causes",
+    "classify_noise_flows",
+    "BlameConfig",
+    "BlameResult",
+    "find_problematic_links",
+    "AnalysisAgent",
+    "EpochReport",
+    "SystemConfig",
+    "Zero07System",
+    "SwitchVoteTally",
+    "build_switch_tally",
+    "find_problematic_switches",
+    "link_tally_to_switch_votes",
+    "LatencyDiagnosis",
+    "LatencyReport",
+    "RttObservation",
+    "MultiEpochAggregator",
+    "LinkHealthRecord",
+]

@@ -1,0 +1,136 @@
+"""Multi-epoch aggregation of 007 reports.
+
+Section 8.3 reports day-long aggregates: how many links are flagged per
+epoch on average, which links recur, and how detections break down by link
+location (server-ToR vs ToR-T1 vs T1-T2).  The aggregator consumes the
+per-epoch :class:`~repro.core.analysis.EpochReport`s the pipeline already
+produces and maintains exactly those summaries, giving operators the
+"heat map over time" view the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.analysis import EpochReport
+from repro.topology.elements import DirectedLink, LinkLevel
+from repro.topology.topology import Topology
+
+
+@dataclass
+class LinkHealthRecord:
+    """Everything the aggregator knows about one link across epochs."""
+
+    link: DirectedLink
+    epochs_detected: int = 0
+    epochs_voted: int = 0
+    total_votes: float = 0.0
+    max_votes: float = 0.0
+    last_detected_epoch: Optional[int] = None
+
+    @property
+    def mean_votes_when_voted(self) -> float:
+        """Average votes over the epochs in which the link received any."""
+        return self.total_votes / self.epochs_voted if self.epochs_voted else 0.0
+
+
+class MultiEpochAggregator:
+    """Accumulates epoch reports into link-health and fleet-wide summaries."""
+
+    def __init__(self, topology: Optional[Topology] = None) -> None:
+        self._topology = topology
+        self._records: Dict[DirectedLink, LinkHealthRecord] = {}
+        self._detections_per_epoch: List[int] = []
+        self._max_votes_per_epoch: List[float] = []
+        self._epochs_seen: List[int] = []
+
+    # ------------------------------------------------------------------
+    def ingest(self, report: EpochReport) -> None:
+        """Fold one epoch's report into the running aggregates."""
+        self._epochs_seen.append(report.epoch)
+        self._detections_per_epoch.append(len(report.detected_links))
+        top_votes = report.ranked_links[0][1] if report.ranked_links else 0.0
+        self._max_votes_per_epoch.append(top_votes)
+
+        for link, votes in report.ranked_links:
+            record = self._records.setdefault(link, LinkHealthRecord(link=link))
+            record.epochs_voted += 1
+            record.total_votes += votes
+            record.max_votes = max(record.max_votes, votes)
+        for link in report.detected_links:
+            record = self._records.setdefault(link, LinkHealthRecord(link=link))
+            record.epochs_detected += 1
+            record.last_detected_epoch = report.epoch
+
+    def ingest_many(self, reports: List[EpochReport]) -> None:
+        """Fold several epoch reports in order."""
+        for report in reports:
+            self.ingest(report)
+
+    # ------------------------------------------------------------------
+    @property
+    def epochs_ingested(self) -> int:
+        """Number of epochs aggregated so far."""
+        return len(self._epochs_seen)
+
+    def record_of(self, link: DirectedLink) -> Optional[LinkHealthRecord]:
+        """The health record of one link (``None`` if it never received votes)."""
+        return self._records.get(link)
+
+    def recurrent_offenders(self, min_epochs_detected: int = 2) -> List[LinkHealthRecord]:
+        """Links detected in at least ``min_epochs_detected`` epochs, worst first.
+
+        Recurrence across epochs is the paper's cue that an intervention
+        (reboot / replace) is worth its cost.
+        """
+        offenders = [
+            r for r in self._records.values() if r.epochs_detected >= min_epochs_detected
+        ]
+        return sorted(offenders, key=lambda r: (-r.epochs_detected, -r.total_votes))
+
+    def detections_per_epoch(self) -> Tuple[float, float]:
+        """Mean and standard deviation of links flagged per epoch (Section 8.3)."""
+        if not self._detections_per_epoch:
+            return 0.0, 0.0
+        return (
+            float(np.mean(self._detections_per_epoch)),
+            float(np.std(self._detections_per_epoch)),
+        )
+
+    def max_votes_per_epoch(self) -> Tuple[float, float]:
+        """Mean and standard deviation of the per-epoch maximum vote tally."""
+        if not self._max_votes_per_epoch:
+            return 0.0, 0.0
+        return (
+            float(np.mean(self._max_votes_per_epoch)),
+            float(np.std(self._max_votes_per_epoch)),
+        )
+
+    def detection_breakdown_by_level(self) -> Dict[str, float]:
+        """Share of detection events per link level (needs a topology).
+
+        Matches the Section 8.3 breakdown (48% server-ToR, 24% ToR-T1, ...);
+        the shares are over detection *events* (link-epochs), not unique links.
+        """
+        if self._topology is None:
+            raise ValueError("a topology is required for the level breakdown")
+        counts: Dict[str, int] = {}
+        total = 0
+        for record in self._records.values():
+            if record.epochs_detected == 0:
+                continue
+            level = self._topology.link_level(record.link)
+            label = {
+                LinkLevel.HOST: "server-ToR",
+                LinkLevel.LEVEL1: "ToR-T1",
+                LinkLevel.LEVEL2: "T1-T2",
+                LinkLevel.LEVEL3: "T2-T3",
+            }[level]
+            counts[label] = counts.get(label, 0) + record.epochs_detected
+            total += record.epochs_detected
+        if total == 0:
+            return {}
+        return {label: count / total for label, count in counts.items()}

@@ -1,0 +1,111 @@
+"""The 007 analysis agent.
+
+At the end of every epoch the (centralised) analysis agent receives the
+discovered paths of all flows that suffered retransmissions, tallies their
+votes, ranks the links, runs Algorithm 1 to flag problematic links, classifies
+noise drops, and attributes a most-likely culprit link to every failure-drop
+flow.  The result is an :class:`EpochReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.blame import BlameConfig, BlameResult, find_problematic_links
+from repro.core.noise import NoiseClassification, classify_noise_flows
+from repro.core.ranking import attribute_flow_causes, rank_links
+from repro.core.votes import VotePolicy, VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.topology.elements import DirectedLink
+
+
+@dataclass
+class EpochReport:
+    """Everything 007 concluded about one epoch."""
+
+    epoch: int
+    tally: VoteTally
+    ranked_links: List[Tuple[DirectedLink, float]]
+    blame: BlameResult
+    flow_causes: Dict[int, DirectedLink]
+    noise: NoiseClassification
+    num_paths_analyzed: int
+
+    @property
+    def detected_links(self) -> List[DirectedLink]:
+        """The problematic links found by Algorithm 1, most voted first."""
+        return list(self.blame.detected_links)
+
+    def cause_of_flow(self, flow_id: int) -> Optional[DirectedLink]:
+        """The culprit link attributed to ``flow_id`` (``None`` if unknown/noise)."""
+        return self.flow_causes.get(flow_id)
+
+    def top_links(self, n: int = 5) -> List[Tuple[DirectedLink, float]]:
+        """The ``n`` most voted links of the epoch."""
+        return self.ranked_links[:n]
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the epoch."""
+        top = self.ranked_links[0] if self.ranked_links else None
+        top_text = f"{top[0]} ({top[1]:.2f} votes)" if top else "none"
+        return (
+            f"epoch {self.epoch}: {self.num_paths_analyzed} flows voted, "
+            f"{len(self.detected_links)} problematic link(s), top link {top_text}, "
+            f"{self.noise.num_noise} noise drops"
+        )
+
+
+class AnalysisAgent:
+    """Turns an epoch's discovered paths into an :class:`EpochReport`."""
+
+    def __init__(
+        self,
+        blame_config: Optional[BlameConfig] = None,
+        vote_policy: VotePolicy = "inverse_hops",
+        attribute_noise_flows: bool = False,
+    ) -> None:
+        self._blame_config = blame_config or BlameConfig()
+        self._vote_policy: VotePolicy = vote_policy
+        self._attribute_noise_flows = attribute_noise_flows
+
+    # ------------------------------------------------------------------
+    @property
+    def blame_config(self) -> BlameConfig:
+        """The Algorithm 1 configuration used for every epoch."""
+        return self._blame_config
+
+    def analyze_epoch(
+        self, epoch: int, paths: Sequence[DiscoveredPath]
+    ) -> EpochReport:
+        """Analyse one epoch's worth of discovered paths."""
+        tally = VoteTally(policy=self._vote_policy)
+        tally.add_discovered_paths(paths)
+
+        blame = find_problematic_links(tally, self._blame_config)
+        noise = classify_noise_flows(paths, blame.detected_links)
+
+        if self._attribute_noise_flows:
+            attributable = list(paths)
+        else:
+            attributable = [p for p in paths if p.flow_id in noise.failure_flows]
+        flow_causes = attribute_flow_causes(tally, attributable)
+
+        return EpochReport(
+            epoch=epoch,
+            tally=tally,
+            ranked_links=rank_links(tally),
+            blame=blame,
+            flow_causes=flow_causes,
+            noise=noise,
+            num_paths_analyzed=len(paths),
+        )
+
+    def analyze_epochs(
+        self, paths_by_epoch: Dict[int, Sequence[DiscoveredPath]]
+    ) -> List[EpochReport]:
+        """Analyse several epochs and return their reports in epoch order."""
+        return [
+            self.analyze_epoch(epoch, paths_by_epoch[epoch])
+            for epoch in sorted(paths_by_epoch)
+        ]

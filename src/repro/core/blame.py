@@ -1,0 +1,142 @@
+"""Algorithm 1: finding the most problematic links in the network.
+
+The algorithm repeatedly picks the most voted link ``lmax``; as long as its
+tally is at least a threshold fraction (1% by default, chosen by the paper via
+a precision/recall parameter sweep) of the total votes cast, ``lmax`` is
+declared problematic.  The votes other links received *because they shared
+failed flows with* ``lmax`` are then discounted — assume every flow with
+retransmissions through ``lmax`` was dropped by ``lmax`` and remove the votes
+those flows contributed elsewhere — and the loop repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Set, Tuple
+
+from repro.core.votes import VoteContribution, VoteTally
+from repro.topology.elements import DirectedLink
+
+AdjustmentPolicy = Literal["paths", "none"]
+
+
+@dataclass(frozen=True)
+class BlameConfig:
+    """Tunables of Algorithm 1."""
+
+    #: a link is problematic while its votes are at least this fraction of the
+    #: total votes cast in the epoch (the paper uses 1%).
+    threshold_fraction: float = 0.01
+    #: how to discount votes caused by an already-blamed link:
+    #: ``"paths"`` (the paper's scheme — reassign the shared flows to the
+    #: blamed link) or ``"none"`` (no adjustment; ablation).
+    adjustment: AdjustmentPolicy = "paths"
+    #: a link must have been voted for by at least this many distinct flows to
+    #: be flagged.  The paper's deployments see thousands of voting flows per
+    #: epoch, so a single lone drop is far below the 1% threshold; at the
+    #: smaller scale of simulations this guard plays the same role of keeping
+    #: "occasional, lone, sporadic drops" from being flagged.
+    min_flow_support: int = 2
+    #: hard cap on iterations (safety net; the vote mass shrinks every round).
+    max_links: int = 1000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold_fraction < 1.0:
+            raise ValueError("threshold_fraction must be in (0, 1)")
+        if self.adjustment not in ("paths", "none"):
+            raise ValueError(f"unknown adjustment policy {self.adjustment!r}")
+        if self.min_flow_support < 1:
+            raise ValueError("min_flow_support must be >= 1")
+        if self.max_links < 1:
+            raise ValueError("max_links must be >= 1")
+
+
+@dataclass
+class BlameResult:
+    """Output of Algorithm 1."""
+
+    detected_links: List[DirectedLink] = field(default_factory=list)
+    #: votes each detected link had at the moment it was picked.
+    votes_at_detection: Dict[DirectedLink, float] = field(default_factory=dict)
+    #: the threshold (in votes) used for the stop condition.
+    threshold_votes: float = 0.0
+    #: remaining adjusted tally when the algorithm stopped.
+    final_votes: Dict[DirectedLink, float] = field(default_factory=dict)
+
+    @property
+    def num_detected(self) -> int:
+        """Number of links flagged as problematic."""
+        return len(self.detected_links)
+
+    def __contains__(self, link: DirectedLink) -> bool:
+        return link in set(self.detected_links)
+
+
+def find_problematic_links(
+    tally: VoteTally, config: Optional[BlameConfig] = None
+) -> BlameResult:
+    """Run Algorithm 1 over an epoch's vote tally.
+
+    The input tally is not modified; the adjustment operates on working
+    copies of the vote counts.
+    """
+    config = config or BlameConfig()
+    total_votes = tally.total_votes()
+    result = BlameResult(threshold_votes=config.threshold_fraction * total_votes)
+    if total_votes <= 0.0:
+        return result
+
+    votes: Dict[DirectedLink, float] = tally.as_dict()
+    remaining: List[VoteContribution] = list(tally.contributions)
+    blamed: Set[DirectedLink] = set()
+    eligible = {
+        link
+        for link in votes
+        if tally.support_of(link) >= config.min_flow_support
+    }
+
+    while len(result.detected_links) < config.max_links:
+        candidates = [
+            (link, v) for link, v in votes.items() if link not in blamed and link in eligible
+        ]
+        if not candidates:
+            break
+        # deterministic tie-break: highest votes, then smallest link
+        best = max(v for _, v in candidates)
+        tied = sorted(link for link, v in candidates if v == best)
+        lmax, vmax = tied[0], best
+        if vmax < result.threshold_votes or vmax <= 0.0:
+            break
+        blamed.add(lmax)
+        result.detected_links.append(lmax)
+        result.votes_at_detection[lmax] = vmax
+
+        if config.adjustment == "paths":
+            remaining = _discount_flows_through(votes, remaining, lmax)
+
+    result.final_votes = dict(votes)
+    return result
+
+
+def _discount_flows_through(
+    votes: Dict[DirectedLink, float],
+    contributions: List[VoteContribution],
+    blamed_link: DirectedLink,
+) -> List[VoteContribution]:
+    """Attribute every remaining flow through ``blamed_link`` to it.
+
+    The votes such flows contributed to *other* links are removed from the
+    working tally; the flows themselves are removed from the remaining pool so
+    later iterations do not discount them twice.  Returns the surviving
+    contributions.
+    """
+    survivors: List[VoteContribution] = []
+    for contribution in contributions:
+        if blamed_link not in contribution.links:
+            survivors.append(contribution)
+            continue
+        for link in contribution.links:
+            if link == blamed_link:
+                continue
+            votes[link] = max(0.0, votes.get(link, 0.0) - contribution.weight)
+    return survivors

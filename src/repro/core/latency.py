@@ -1,0 +1,108 @@
+"""Latency diagnosis: the Section 9.2 extension of 007.
+
+ETW exposes TCP's smoothed RTT estimate on every ACK; thresholding those
+estimates marks flows as "slow", and the very same voting scheme then ranks
+the links most likely responsible for the added delay.  The module reuses
+:class:`~repro.core.votes.VoteTally` and Algorithm 1 unchanged — only the
+definition of a "failed" flow differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.blame import BlameConfig, BlameResult, find_problematic_links
+from repro.core.ranking import rank_links
+from repro.core.votes import VoteTally
+from repro.routing.paths import Path
+from repro.topology.elements import DirectedLink
+
+
+@dataclass(frozen=True)
+class RttObservation:
+    """One flow's smoothed RTT for an epoch, along with its (discovered) path."""
+
+    flow_id: int
+    srtt_us: float
+    links: Tuple[DirectedLink, ...]
+
+    @staticmethod
+    def from_path(flow_id: int, srtt_us: float, path: Path) -> "RttObservation":
+        """Convenience constructor from a full :class:`Path`."""
+        return RttObservation(flow_id=flow_id, srtt_us=srtt_us, links=tuple(path.links))
+
+
+@dataclass
+class LatencyReport:
+    """Output of the latency-diagnosis pass for one epoch."""
+
+    threshold_us: float
+    slow_flows: List[int]
+    tally: VoteTally
+    ranked_links: List[Tuple[DirectedLink, float]]
+    blame: BlameResult
+
+    @property
+    def suspect_links(self) -> List[DirectedLink]:
+        """Links flagged as the likely cause of the added latency."""
+        return list(self.blame.detected_links)
+
+
+class LatencyDiagnosis:
+    """Thresholds smoothed RTTs and votes on the paths of slow flows.
+
+    Parameters
+    ----------
+    threshold_us:
+        Absolute SRTT threshold; flows above it are "slow".  When ``None``,
+        the threshold is derived per epoch as ``baseline_multiplier`` times
+        the median SRTT (a robust self-calibrating default).
+    baseline_multiplier:
+        Multiplier applied to the median when deriving the threshold.
+    blame_config:
+        Algorithm 1 configuration used to flag suspect links.
+    """
+
+    def __init__(
+        self,
+        threshold_us: Optional[float] = None,
+        baseline_multiplier: float = 2.0,
+        blame_config: Optional[BlameConfig] = None,
+    ) -> None:
+        if threshold_us is not None and threshold_us <= 0:
+            raise ValueError("threshold_us must be positive")
+        if baseline_multiplier <= 1.0:
+            raise ValueError("baseline_multiplier must be > 1")
+        self._threshold_us = threshold_us
+        self._baseline_multiplier = baseline_multiplier
+        self._blame_config = blame_config or BlameConfig()
+
+    # ------------------------------------------------------------------
+    def threshold_for(self, observations: Sequence[RttObservation]) -> float:
+        """The SRTT threshold used for a set of observations."""
+        if self._threshold_us is not None:
+            return self._threshold_us
+        if not observations:
+            return float("inf")
+        srtts = sorted(obs.srtt_us for obs in observations)
+        median = srtts[len(srtts) // 2]
+        return self._baseline_multiplier * median
+
+    def analyze(self, observations: Sequence[RttObservation]) -> LatencyReport:
+        """Classify slow flows and rank the links suspected of adding latency."""
+        threshold = self.threshold_for(observations)
+        tally = VoteTally()
+        slow: List[int] = []
+        for obs in observations:
+            if obs.srtt_us > threshold and obs.links:
+                slow.append(obs.flow_id)
+                tally.add_flow(obs.flow_id, list(obs.links))
+        blame = find_problematic_links(tally, self._blame_config)
+        return LatencyReport(
+            threshold_us=threshold,
+            slow_flows=slow,
+            tally=tally,
+            ranked_links=rank_links(tally),
+            blame=blame,
+        )

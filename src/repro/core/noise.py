@@ -1,0 +1,70 @@
+"""Noise classification.
+
+Occasional, lone, sporadic drops happen on perfectly healthy links.  007
+first separates flows whose drops look like such noise from flows whose drops
+are explained by a failing link, and only reports causes for the latter
+("failure drops", Section 6).
+
+From the end host's perspective the ground truth ("did the dropping link drop
+only a single packet?") is unknown, so the classifier uses the tally: a flow
+is a *noise drop* when it saw a single retransmission and none of its links is
+among the detected problematic links (equivalently, none of its links carries
+a vote share above the detection threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.votes import VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.topology.elements import DirectedLink
+
+
+@dataclass(frozen=True)
+class NoiseClassification:
+    """Flows split into noise drops and failure drops."""
+
+    noise_flows: frozenset[int]
+    failure_flows: frozenset[int]
+
+    @property
+    def num_noise(self) -> int:
+        """Number of flows classified as noise drops."""
+        return len(self.noise_flows)
+
+    @property
+    def num_failure(self) -> int:
+        """Number of flows classified as failure drops."""
+        return len(self.failure_flows)
+
+
+def classify_noise_flows(
+    paths: Iterable[DiscoveredPath],
+    detected_links: Sequence[DirectedLink],
+    max_noise_retransmissions: int = 1,
+) -> NoiseClassification:
+    """Split flows into noise drops and failure drops.
+
+    Parameters
+    ----------
+    paths:
+        The discovered paths of flows with retransmissions.
+    detected_links:
+        The problematic links found by Algorithm 1 for the same epoch.
+    max_noise_retransmissions:
+        A flow with more retransmissions than this is always a failure drop.
+    """
+    detected: Set[DirectedLink] = set(detected_links)
+    noise: Set[int] = set()
+    failure: Set[int] = set()
+    for path in paths:
+        touches_bad_link = any(link in detected for link in path.links)
+        if touches_bad_link or path.retransmissions > max_noise_retransmissions:
+            failure.add(path.flow_id)
+        else:
+            noise.add(path.flow_id)
+    return NoiseClassification(
+        noise_flows=frozenset(noise), failure_flows=frozenset(failure)
+    )

@@ -1,0 +1,150 @@
+"""The end-to-end 007 system.
+
+:class:`Zero07System` wires every component of Figure 2 together over the
+simulated datacenter: the flow-level simulator plays the role of the real
+network + ETW, the monitoring agent reacts to retransmissions, the path
+discovery agent traces the affected flows within the ICMP budget, and the
+centralised analysis agent compiles the per-epoch vote tallies, rankings and
+problematic-link reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.analysis import AnalysisAgent, EpochReport
+from repro.core.blame import BlameConfig
+from repro.core.votes import VotePolicy
+from repro.discovery.agent import PathDiscoveryAgent, PathDiscoveryConfig
+from repro.discovery.icmp import IcmpRateLimiter
+from repro.discovery.traceroute import TracerouteEngine
+from repro.monitoring.agent import TcpMonitoringAgent
+from repro.netsim.links import LinkStateTable
+from repro.netsim.simulator import EpochResult, EpochSimulator, SimulationConfig
+from repro.netsim.traffic import TrafficGenerator
+from repro.routing.ecmp import EcmpRouter
+from repro.slb.loadbalancer import SoftwareLoadBalancer
+from repro.theory.theorem1 import traceroute_rate_bound
+from repro.topology.clos import ClosTopology
+from repro.util.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass
+class SystemConfig:
+    """Configuration of the full 007 deployment."""
+
+    epoch_duration_s: float = 30.0
+    #: per-switch ICMP response cap (the paper's Tmax).
+    tmax_icmp_per_second: int = 100
+    #: per-host traceroute rate cap Ct; ``None`` derives it from Theorem 1.
+    max_traceroutes_per_host_per_second: Optional[float] = None
+    blame: BlameConfig = field(default_factory=BlameConfig)
+    vote_policy: VotePolicy = "inverse_hops"
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    #: whether traceroute probes are themselves subject to packet loss.
+    traceroute_probe_loss: bool = True
+    use_slb: bool = True
+
+
+class Zero07System:
+    """007 deployed over a simulated Clos datacenter.
+
+    Parameters
+    ----------
+    topology:
+        The datacenter to monitor.
+    traffic:
+        The traffic generator driving the simulation.
+    link_table:
+        Per-link drop state (inject failures into it before running epochs).
+    config:
+        System configuration; sensible defaults reproduce the paper's setup.
+    rng:
+        Seed or generator for all stochastic components.
+    """
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        traffic: TrafficGenerator,
+        link_table: Optional[LinkStateTable] = None,
+        config: Optional[SystemConfig] = None,
+        rng: RngLike = 0,
+    ) -> None:
+        self._topology = topology
+        self._config = config or SystemConfig()
+        base_rng = ensure_rng(rng)
+
+        self.link_table = link_table or LinkStateTable(topology, rng=spawn_rng(rng, 1))
+        self.router = EcmpRouter(topology, rng=spawn_rng(rng, 2))
+        self.slb = (
+            SoftwareLoadBalancer(rng=spawn_rng(rng, 3)) if self._config.use_slb else None
+        )
+
+        self._config.simulation.epoch_duration_s = self._config.epoch_duration_s
+        self.simulator = EpochSimulator(
+            topology=topology,
+            router=self.router,
+            link_table=self.link_table,
+            traffic=traffic,
+            slb=self.slb,
+            config=self._config.simulation,
+            rng=spawn_rng(rng, 4),
+        )
+
+        self.icmp_limiter = IcmpRateLimiter(self._config.tmax_icmp_per_second)
+        self.icmp_limiter.register_switches(topology.switches)
+        self.traceroute_engine = TracerouteEngine(
+            router=self.router,
+            link_table=self.link_table,
+            icmp_limiter=self.icmp_limiter,
+            probe_loss=self._config.traceroute_probe_loss,
+            rng=spawn_rng(rng, 5),
+        )
+
+        ct = self._config.max_traceroutes_per_host_per_second
+        if ct is None:
+            ct = traceroute_rate_bound(
+                topology.params, tmax=self._config.tmax_icmp_per_second
+            )
+        self.path_discovery = PathDiscoveryAgent(
+            traceroute=self.traceroute_engine,
+            slb=self.slb,
+            config=PathDiscoveryConfig(
+                max_traceroutes_per_host_per_second=max(1.0, ct),
+                epoch_duration_s=self._config.epoch_duration_s,
+            ),
+        )
+        self.monitoring = TcpMonitoringAgent(self.path_discovery)
+        self.simulator.subscribe(self.monitoring.handle_event)
+
+        self.analysis = AnalysisAgent(
+            blame_config=self._config.blame, vote_policy=self._config.vote_policy
+        )
+        self._base_rng = base_rng
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> ClosTopology:
+        """The monitored topology."""
+        return self._topology
+
+    @property
+    def config(self) -> SystemConfig:
+        """The system configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, epoch: int) -> Tuple[EpochResult, EpochReport]:
+        """Simulate one epoch and analyse it; returns (simulation, 007 report)."""
+        self.path_discovery.new_epoch(epoch)
+        sim_result = self.simulator.run_epoch(epoch)
+        paths = self.monitoring.paths_for_epoch(epoch)
+        report = self.analysis.analyze_epoch(epoch, paths)
+        self.monitoring.clear_epoch(epoch)
+        return sim_result, report
+
+    def run(self, num_epochs: int, start_epoch: int = 0) -> List[Tuple[EpochResult, EpochReport]]:
+        """Run several consecutive epochs."""
+        return [self.run_epoch(start_epoch + i) for i in range(num_epochs)]

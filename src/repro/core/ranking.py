@@ -1,0 +1,70 @@
+"""Link ranking and per-flow culprit attribution.
+
+Theorem 2 guarantees that links with higher drop rates end up with more votes,
+so the tally gives a natural ranking ("heat map") of links, and the most voted
+link on a flow's own path is the most likely cause of that flow's drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.votes import VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.topology.elements import DirectedLink
+
+
+def rank_links(tally: VoteTally) -> List[Tuple[DirectedLink, float]]:
+    """Links sorted by decreasing vote tally (ties broken by link order)."""
+    return tally.items()
+
+
+def attribute_flow_cause(
+    tally: VoteTally, links: Sequence[DirectedLink]
+) -> Optional[DirectedLink]:
+    """The most likely culprit for one flow: its most voted link.
+
+    Returns ``None`` when the flow has no known links.  Ties are broken
+    deterministically by link ordering so repeated analyses agree.
+    """
+    if not links:
+        return None
+    return max(sorted(links), key=lambda link: tally.votes_of(link))
+
+
+def attribute_flow_causes(
+    tally: VoteTally, paths: Iterable[DiscoveredPath]
+) -> Dict[int, DirectedLink]:
+    """Attribute a culprit link to every flow with a discovered path."""
+    causes: Dict[int, DirectedLink] = {}
+    for path in paths:
+        culprit = attribute_flow_cause(tally, path.links)
+        if culprit is not None:
+            causes[path.flow_id] = culprit
+    return causes
+
+
+def vote_gap(
+    tally: VoteTally,
+    bad_links: Sequence[DirectedLink],
+) -> float:
+    """Difference between the max votes on a known-bad link and on any other link.
+
+    This is the quantity plotted in Figure 13: positive values mean the bad
+    link out-ranks every good link.
+    """
+    bad_set = set(bad_links)
+    bad_votes = max((tally.votes_of(link) for link in bad_set), default=0.0)
+    good_votes = max(
+        (votes for link, votes in tally.items() if link not in bad_set),
+        default=0.0,
+    )
+    return bad_votes - good_votes
+
+
+def rank_of_link(tally: VoteTally, link: DirectedLink) -> Optional[int]:
+    """1-based rank of ``link`` in the tally (``None`` when it has no votes)."""
+    for position, (candidate, _) in enumerate(tally.items(), start=1):
+        if candidate == link:
+            return position
+    return None

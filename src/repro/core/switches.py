@@ -1,0 +1,123 @@
+"""Switch-level voting (the extension sketched at the end of Section 5.1).
+
+007's votes normally target links; applying the same scheme to switches lets
+the operator detect a misbehaving device (e.g. a ToR silently corrupting
+packets on many of its ports) rather than a single cable.  A flow's vote is
+split across the switches its path visits, and the same threshold/adjustment
+loop of Algorithm 1 flags problematic switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.blame import BlameConfig
+from repro.core.votes import VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.topology.elements import DirectedLink
+from repro.topology.topology import Topology
+
+
+@dataclass
+class SwitchVoteTally:
+    """Per-switch vote accumulation for one epoch."""
+
+    votes: Dict[str, float] = field(default_factory=dict)
+    contributions: List[Tuple[int, Tuple[str, ...], float]] = field(default_factory=list)
+
+    def add_flow(self, flow_id: int, switches: Iterable[str]) -> None:
+        """Record one failed flow's votes, split evenly across its switches."""
+        switch_list = tuple(switches)
+        if not switch_list:
+            raise ValueError("a voting flow must traverse at least one switch")
+        weight = 1.0 / len(switch_list)
+        for switch in switch_list:
+            self.votes[switch] = self.votes.get(switch, 0.0) + weight
+        self.contributions.append((flow_id, switch_list, weight))
+
+    def total_votes(self) -> float:
+        """Sum of all switch votes cast."""
+        return float(sum(self.votes.values()))
+
+    def items(self) -> List[Tuple[str, float]]:
+        """Switches sorted by decreasing votes (ties by name)."""
+        return sorted(self.votes.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def votes_of(self, switch: str) -> float:
+        """Votes of one switch (0 when it never received any)."""
+        return self.votes.get(switch, 0.0)
+
+
+def switches_of_links(topology: Topology, links: Iterable[DirectedLink]) -> List[str]:
+    """The switches touched by a set of (discovered) links, in path order."""
+    seen: List[str] = []
+    for link in links:
+        for end in (link.src, link.dst):
+            if topology.is_switch(end) and end not in seen:
+                seen.append(end)
+    return seen
+
+
+def build_switch_tally(
+    topology: Topology, paths: Iterable[DiscoveredPath]
+) -> SwitchVoteTally:
+    """Tally switch votes for the failed flows of one epoch."""
+    tally = SwitchVoteTally()
+    for path in paths:
+        switches = switches_of_links(topology, path.links)
+        if switches:
+            tally.add_flow(path.flow_id, switches)
+    return tally
+
+
+def find_problematic_switches(
+    tally: SwitchVoteTally, config: Optional[BlameConfig] = None
+) -> List[str]:
+    """Algorithm 1 applied to switches instead of links."""
+    config = config or BlameConfig()
+    total = tally.total_votes()
+    if total <= 0.0:
+        return []
+    threshold = config.threshold_fraction * total
+
+    votes = dict(tally.votes)
+    remaining = list(tally.contributions)
+    detected: List[str] = []
+
+    while len(detected) < config.max_links:
+        candidates = [(s, v) for s, v in votes.items() if s not in detected]
+        if not candidates:
+            break
+        best = max(v for _, v in candidates)
+        smax = sorted(s for s, v in candidates if v == best)[0]
+        if best < threshold or best <= 0.0:
+            break
+        detected.append(smax)
+        if config.adjustment == "paths":
+            survivors = []
+            for flow_id, switches, weight in remaining:
+                if smax not in switches:
+                    survivors.append((flow_id, switches, weight))
+                    continue
+                for switch in switches:
+                    if switch != smax:
+                        votes[switch] = max(0.0, votes.get(switch, 0.0) - weight)
+            remaining = survivors
+    return detected
+
+
+def link_tally_to_switch_votes(
+    topology: Topology, link_tally: VoteTally
+) -> SwitchVoteTally:
+    """Re-derive switch votes from an existing link vote tally.
+
+    Useful when the epoch analysis already ran: the per-flow contributions of
+    the link tally are reinterpreted at switch granularity.
+    """
+    tally = SwitchVoteTally()
+    for contribution in link_tally.contributions:
+        switches = switches_of_links(topology, contribution.links)
+        if switches:
+            tally.add_flow(contribution.flow_id, switches)
+    return tally

@@ -1,0 +1,147 @@
+"""The 007 voting scheme.
+
+A flow that suffers at least one retransmission votes for every link on its
+path; each vote is worth ``1/h`` where ``h`` is the number of links on the
+path (every link is a priori equally likely to have caused the drop).  Flows
+without retransmissions cast no votes (their value is 0, so they need not be
+traced at all).  Votes are tallied per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
+
+from repro.discovery.agent import DiscoveredPath
+from repro.topology.elements import DirectedLink
+
+VotePolicy = Literal["inverse_hops", "unit"]
+
+
+@dataclass(frozen=True)
+class VoteContribution:
+    """The votes one flow contributed to the tally."""
+
+    flow_id: int
+    links: Tuple[DirectedLink, ...]
+    weight: float
+    retransmissions: int = 1
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links the flow voted for."""
+        return len(self.links)
+
+
+class VoteTally:
+    """Accumulates link votes for one epoch.
+
+    Parameters
+    ----------
+    policy:
+        ``"inverse_hops"`` (the paper's scheme, default) gives each link of a
+        bad flow ``1/h`` votes; ``"unit"`` gives each link a full vote and is
+        provided for the ablation benchmark.
+    """
+
+    def __init__(self, policy: VotePolicy = "inverse_hops") -> None:
+        if policy not in ("inverse_hops", "unit"):
+            raise ValueError(f"unknown vote policy {policy!r}")
+        self._policy: VotePolicy = policy
+        self._votes: Dict[DirectedLink, float] = {}
+        self._contributions: List[VoteContribution] = []
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def add_flow(
+        self,
+        flow_id: int,
+        links: Sequence[DirectedLink],
+        retransmissions: int = 1,
+    ) -> VoteContribution:
+        """Record the votes of one flow that suffered retransmissions."""
+        if not links:
+            raise ValueError("a voting flow must have at least one known link")
+        weight = 1.0 if self._policy == "unit" else 1.0 / len(links)
+        contribution = VoteContribution(
+            flow_id=flow_id,
+            links=tuple(links),
+            weight=weight,
+            retransmissions=retransmissions,
+        )
+        for link in links:
+            self._votes[link] = self._votes.get(link, 0.0) + weight
+        self._contributions.append(contribution)
+        return contribution
+
+    def add_discovered_path(self, path: DiscoveredPath) -> VoteContribution:
+        """Record the votes of a flow from its discovered (possibly partial) path."""
+        return self.add_flow(
+            flow_id=path.flow_id,
+            links=path.links,
+            retransmissions=path.retransmissions,
+        )
+
+    def add_discovered_paths(self, paths: Iterable[DiscoveredPath]) -> None:
+        """Record votes for many discovered paths."""
+        for path in paths:
+            self.add_discovered_path(path)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> VotePolicy:
+        """The vote-value policy in use."""
+        return self._policy
+
+    def votes_of(self, link: DirectedLink) -> float:
+        """Current vote tally of ``link`` (0 for links never voted for)."""
+        return self._votes.get(link, 0.0)
+
+    def support_of(self, link: DirectedLink) -> int:
+        """Number of distinct flows that voted for ``link``."""
+        return sum(1 for c in self._contributions if link in c.links)
+
+    def total_votes(self) -> float:
+        """Sum of all votes cast."""
+        return float(sum(self._votes.values()))
+
+    def links(self) -> List[DirectedLink]:
+        """Links with at least one vote, sorted."""
+        return sorted(self._votes)
+
+    def items(self) -> List[Tuple[DirectedLink, float]]:
+        """``(link, votes)`` pairs sorted by decreasing votes, ties by link order."""
+        return sorted(self._votes.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def as_dict(self) -> Dict[DirectedLink, float]:
+        """A copy of the tally."""
+        return dict(self._votes)
+
+    @property
+    def contributions(self) -> List[VoteContribution]:
+        """Per-flow contributions (used by Algorithm 1's adjustment step)."""
+        return list(self._contributions)
+
+    @property
+    def num_flows(self) -> int:
+        """Number of flows that cast votes."""
+        return len(self._contributions)
+
+    def top(self, n: int = 1) -> List[Tuple[DirectedLink, float]]:
+        """The ``n`` most voted links."""
+        return self.items()[:n]
+
+    def max_link(self) -> Optional[DirectedLink]:
+        """The single most voted link (``None`` when no votes were cast)."""
+        items = self.items()
+        return items[0][0] if items else None
+
+    def copy(self) -> "VoteTally":
+        """A deep copy of the tally (Algorithm 1 adjusts a copy)."""
+        clone = VoteTally(policy=self._policy)
+        clone._votes = dict(self._votes)
+        clone._contributions = list(self._contributions)
+        return clone

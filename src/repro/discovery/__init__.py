@@ -1,0 +1,15 @@
+"""Path discovery agent: traceroute engine and ICMP rate limiting."""
+
+from repro.discovery.icmp import IcmpRateLimiter, IcmpUsageStats
+from repro.discovery.traceroute import TracerouteEngine, TracerouteResult
+from repro.discovery.agent import DiscoveredPath, PathDiscoveryAgent, PathDiscoveryConfig
+
+__all__ = [
+    "IcmpRateLimiter",
+    "IcmpUsageStats",
+    "TracerouteEngine",
+    "TracerouteResult",
+    "PathDiscoveryAgent",
+    "PathDiscoveryConfig",
+    "DiscoveredPath",
+]

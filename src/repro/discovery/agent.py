@@ -1,0 +1,176 @@
+"""The 007 path discovery agent.
+
+Upon a retransmission notification the agent (one logical instance per host;
+this class keeps per-host state internally so a single object can serve a
+whole simulation) decides whether to trace the flow:
+
+* at most once per flow per epoch (a per-epoch path cache),
+* at most ``Ct`` traceroutes per host per second (Theorem 1's bound, so the
+  per-switch ICMP budget ``Tmax`` is never exceeded),
+* only if the VIP -> DIP mapping can be resolved (otherwise we might
+  traceroute the Internet), and
+* never for flows whose connection establishment itself failed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.discovery.traceroute import TracerouteEngine, TracerouteResult
+from repro.netsim.events import RetransmissionEvent
+from repro.routing.fivetuple import FiveTuple
+from repro.slb.loadbalancer import SlbQueryError, SoftwareLoadBalancer
+from repro.topology.elements import DirectedLink
+
+
+@dataclass(frozen=True)
+class PathDiscoveryConfig:
+    """Tunables of the path discovery agent."""
+
+    #: maximum traceroutes a single host may start per second (Theorem 1's Ct).
+    max_traceroutes_per_host_per_second: float = 10.0
+    #: epoch duration in seconds (determines the per-epoch budget).
+    epoch_duration_s: float = 30.0
+
+    @property
+    def per_epoch_budget(self) -> int:
+        """Maximum traceroutes one host may start within an epoch."""
+        return int(self.max_traceroutes_per_host_per_second * self.epoch_duration_s)
+
+
+@dataclass
+class DiscoveredPath:
+    """A path (possibly partial) discovered for a flow with retransmissions."""
+
+    flow_id: int
+    five_tuple: FiveTuple
+    src_host: str
+    dst_host: str
+    links: List[DirectedLink]
+    complete: bool
+    retransmissions: int = 1
+    epoch: int = 0
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links discovered (the ``h`` used for 1/h votes)."""
+        return len(self.links)
+
+
+@dataclass
+class PathDiscoveryStats:
+    """Counters describing the agent's behaviour (used by tests and Table 1)."""
+
+    triggered: int = 0
+    served_from_cache: int = 0
+    rate_limited: int = 0
+    slb_failures: int = 0
+    traceroutes_sent: int = 0
+    incomplete_traces: int = 0
+
+
+class PathDiscoveryAgent:
+    """Discovers the paths of flows that suffered retransmissions."""
+
+    def __init__(
+        self,
+        traceroute: TracerouteEngine,
+        slb: Optional[SoftwareLoadBalancer] = None,
+        config: Optional[PathDiscoveryConfig] = None,
+    ) -> None:
+        self._traceroute = traceroute
+        self._slb = slb
+        self._config = config or PathDiscoveryConfig()
+        self._cache: Dict[Tuple, DiscoveredPath] = {}
+        self._per_host_counts: Dict[str, int] = defaultdict(int)
+        self._per_host_second_counts: Dict[Tuple[str, int], int] = defaultdict(int)
+        self._current_epoch: Optional[int] = None
+        self.stats = PathDiscoveryStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> PathDiscoveryConfig:
+        """The agent's configuration."""
+        return self._config
+
+    def new_epoch(self, epoch: int) -> None:
+        """Reset the per-epoch path cache and rate counters."""
+        self._cache.clear()
+        self._per_host_counts.clear()
+        self._per_host_second_counts.clear()
+        self._current_epoch = epoch
+
+    # ------------------------------------------------------------------
+    def discover(self, event: RetransmissionEvent) -> Optional[DiscoveredPath]:
+        """Handle one retransmission event; returns the discovered path or ``None``.
+
+        ``None`` means the agent chose not to (or could not) trace: the host
+        exhausted its traceroute budget, the SLB query failed, or nothing at
+        all was reachable.
+        """
+        if self._current_epoch != event.epoch:
+            self.new_epoch(event.epoch)
+        self.stats.triggered += 1
+
+        cache_key = event.five_tuple.canonical_key()
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self.stats.served_from_cache += 1
+            cached.retransmissions += event.retransmissions
+            return cached
+
+        if not self._consume_budget(event.src_host, event.timestamp):
+            self.stats.rate_limited += 1
+            return None
+
+        data_tuple = self._resolve_data_tuple(event)
+        if data_tuple is None:
+            self.stats.slb_failures += 1
+            return None
+
+        trace = self._traceroute.trace(
+            data_tuple, event.src_host, event.dst_host, time_s=event.timestamp
+        )
+        self.stats.traceroutes_sent += 1
+        if not trace.complete:
+            self.stats.incomplete_traces += 1
+        if not trace.discovered_links:
+            return None
+
+        discovered = DiscoveredPath(
+            flow_id=event.flow_id,
+            five_tuple=event.five_tuple,
+            src_host=event.src_host,
+            dst_host=event.dst_host,
+            links=list(trace.discovered_links),
+            complete=trace.complete,
+            retransmissions=event.retransmissions,
+            epoch=event.epoch,
+        )
+        self._cache[cache_key] = discovered
+        return discovered
+
+    # ------------------------------------------------------------------
+    def _resolve_data_tuple(self, event: RetransmissionEvent) -> Optional[FiveTuple]:
+        """Rewrite the application five-tuple (VIP) into the on-wire tuple (DIP)."""
+        if self._slb is None:
+            return event.five_tuple
+        try:
+            dip = self._slb.query_dip(event.five_tuple)
+        except SlbQueryError:
+            return None
+        return event.five_tuple.with_destination(dip)
+
+    def _consume_budget(self, host: str, timestamp: float) -> bool:
+        """Charge one traceroute against the host's per-second and per-epoch budgets."""
+        per_second_cap = max(1, int(self._config.max_traceroutes_per_host_per_second))
+        second_key = (host, int(timestamp))
+        if self._per_host_second_counts[second_key] >= per_second_cap:
+            return False
+        if self._per_host_counts[host] >= self._config.per_epoch_budget:
+            return False
+        self._per_host_second_counts[second_key] += 1
+        self._per_host_counts[host] += 1
+        return True

@@ -1,0 +1,19 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows mirror the
+series/columns the paper reports.  The ``benchmarks/`` directory contains one
+pytest-benchmark target per experiment that runs a scaled-down configuration
+and prints the regenerated rows.
+"""
+
+from repro.experiments.base import ExperimentPoint, ExperimentResult
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+__all__ = [
+    "ExperimentPoint",
+    "ExperimentResult",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+]

@@ -1,0 +1,36 @@
+"""Figure 4: Algorithm 1 precision/recall vs number of failed links
+(Theorem 2 regime), compared against the integer and binary programs."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import average_over_trials, detection_metrics
+
+DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
+
+
+def run_fig04(
+    failed_link_counts: Sequence[int] = DEFAULT_FAILED_LINK_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Regenerate Figure 4 (detection precision/recall vs number of failed links)."""
+    base = ScenarioConfig(
+        drop_rate_range=(5e-4, 1e-2),
+        seed=seed,
+    )
+    result = ExperimentResult(
+        name="Figure 4",
+        description="Algorithm 1 precision/recall vs #failed links (Theorem 2 holds)",
+    )
+    metrics = detection_metrics(include_baselines=include_baselines)
+    for count in failed_link_counts:
+        config = replace(base, num_bad_links=count)
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"num_failed_links": count}, averaged)
+    return result

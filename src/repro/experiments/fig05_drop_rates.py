@@ -1,0 +1,74 @@
+"""Figure 5: per-connection accuracy while varying the failed-link drop rate.
+
+Panel (a): a single failed link whose drop rate sweeps below and above the
+conservative Theorem 2 bound.  Panel (b): multiple failed links with very
+different drop rates (the paper's default (0.01%, 1%) range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+
+DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
+DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
+
+
+def run_fig05_single(
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Panel (a): accuracy vs drop rate of a single failed link."""
+    result = ExperimentResult(
+        name="Figure 5a", description="accuracy vs drop rate, single failure"
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for rate in drop_rates:
+        config = ScenarioConfig(
+            num_bad_links=1,
+            drop_rate_range=(rate, rate),
+            seed=seed,
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"drop_rate": rate}, averaged)
+    return result
+
+
+def run_fig05_multiple(
+    failed_link_counts: Sequence[int] = DEFAULT_FAILED_LINK_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Panel (b): accuracy vs number of failures with widely varying drop rates."""
+    result = ExperimentResult(
+        name="Figure 5b", description="accuracy vs #failures, mixed drop rates"
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for count in failed_link_counts:
+        config = ScenarioConfig(
+            num_bad_links=count,
+            drop_rate_range=(1e-4, 1e-2),
+            seed=seed,
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"num_failed_links": count}, averaged)
+    return result
+
+
+def run_fig05(trials: int = 3, seed: int = 0, include_baselines: bool = True) -> ExperimentResult:
+    """Both panels merged into one result table."""
+    merged = ExperimentResult(name="Figure 5", description="accuracy vs drop rates")
+    for sub in (
+        run_fig05_single(trials=trials, seed=seed, include_baselines=include_baselines),
+        run_fig05_multiple(trials=trials, seed=seed, include_baselines=include_baselines),
+    ):
+        for point in sub.points:
+            merged.add_point({"panel": sub.name, **point.parameters}, point.metrics)
+    return merged

@@ -1,0 +1,44 @@
+"""Figure 6: impact of noise (good-link drop rate) on per-connection accuracy.
+
+The noise level — the drop rate of *good* links — is swept upward while one
+(panel a) or five (panel b) links carry genuine failures.  The paper's
+finding: 007 is barely affected, while the optimization's accuracy becomes
+erratic (large confidence intervals).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+
+DEFAULT_NOISE_LEVELS = (1e-6, 1e-5, 5e-5, 1e-4)
+
+
+def run_fig06(
+    noise_levels: Sequence[float] = DEFAULT_NOISE_LEVELS,
+    failed_link_counts: Sequence[int] = (1, 5),
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Regenerate Figure 6 (accuracy vs noise level, single and multiple failures)."""
+    result = ExperimentResult(
+        name="Figure 6", description="accuracy vs good-link (noise) drop rate"
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for count in failed_link_counts:
+        for noise in noise_levels:
+            config = ScenarioConfig(
+                num_bad_links=count,
+                drop_rate_range=(1e-3, 1e-2),
+                noise_range=(0.0, noise),
+                seed=seed,
+            )
+            averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+            result.add_point(
+                {"num_failed_links": count, "noise_drop_rate": noise}, averaged
+            )
+    return result

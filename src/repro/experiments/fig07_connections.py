@@ -1,0 +1,82 @@
+"""Figure 7: accuracy when hosts open a random number of connections per epoch.
+
+Hosts draw their per-epoch connection count uniformly from (10, 60) instead of
+the fixed 60 used elsewhere; fewer connections means less evidence, which
+hurts the under-constrained optimization more than 007.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+
+DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
+DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
+DEFAULT_CONNECTION_RANGE: Tuple[int, int] = (10, 60)
+
+
+def run_fig07_single(
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    connection_range: Tuple[int, int] = DEFAULT_CONNECTION_RANGE,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Panel (a): single failure, random connection counts."""
+    result = ExperimentResult(
+        name="Figure 7a",
+        description="accuracy vs drop rate, random #connections per host",
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for rate in drop_rates:
+        config = ScenarioConfig(
+            num_bad_links=1,
+            drop_rate_range=(rate, rate),
+            connections_per_host=connection_range,
+            seed=seed,
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"drop_rate": rate}, averaged)
+    return result
+
+
+def run_fig07_multiple(
+    failed_link_counts: Sequence[int] = DEFAULT_FAILED_LINK_COUNTS,
+    connection_range: Tuple[int, int] = DEFAULT_CONNECTION_RANGE,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Panel (b): multiple failures, random connection counts."""
+    result = ExperimentResult(
+        name="Figure 7b",
+        description="accuracy vs #failures, random #connections per host",
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for count in failed_link_counts:
+        config = ScenarioConfig(
+            num_bad_links=count,
+            drop_rate_range=(1e-4, 1e-2),
+            connections_per_host=connection_range,
+            seed=seed,
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"num_failed_links": count}, averaged)
+    return result
+
+
+def run_fig07(trials: int = 3, seed: int = 0, include_baselines: bool = True) -> ExperimentResult:
+    """Both panels merged."""
+    merged = ExperimentResult(
+        name="Figure 7", description="random #connections per host"
+    )
+    for sub in (
+        run_fig07_single(trials=trials, seed=seed, include_baselines=include_baselines),
+        run_fig07_multiple(trials=trials, seed=seed, include_baselines=include_baselines),
+    ):
+        for point in sub.points:
+            merged.add_point({"panel": sub.name, **point.parameters}, point.metrics)
+    return merged

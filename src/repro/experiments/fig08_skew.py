@@ -1,0 +1,78 @@
+"""Figure 8: accuracy under heavily skewed traffic.
+
+25% of the ToRs receive 80% of the flows (Section 6.5).  The optimization's
+constraints thin out on the cold part of the network, so its accuracy drops,
+while 007 keeps finding the per-flow cause with high probability.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+
+DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
+DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
+
+
+def _skewed_config(seed: int, **overrides) -> ScenarioConfig:
+    base = dict(
+        traffic="skewed",
+        num_hot_tors=5,  # 25% of the 20 ToRs in the default 2-pod topology
+        hot_fraction=0.8,
+        seed=seed,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def run_fig08_single(
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Panel (a): single failure under skewed traffic."""
+    result = ExperimentResult(
+        name="Figure 8a", description="accuracy vs drop rate, skewed traffic"
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for rate in drop_rates:
+        config = _skewed_config(seed, num_bad_links=1, drop_rate_range=(rate, rate))
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"drop_rate": rate}, averaged)
+    return result
+
+
+def run_fig08_multiple(
+    failed_link_counts: Sequence[int] = DEFAULT_FAILED_LINK_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Panel (b): multiple failures under skewed traffic."""
+    result = ExperimentResult(
+        name="Figure 8b", description="accuracy vs #failures, skewed traffic"
+    )
+    metrics = accuracy_metrics(include_baselines=include_baselines)
+    for count in failed_link_counts:
+        config = _skewed_config(
+            seed, num_bad_links=count, drop_rate_range=(1e-4, 1e-2)
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"num_failed_links": count}, averaged)
+    return result
+
+
+def run_fig08(trials: int = 3, seed: int = 0, include_baselines: bool = True) -> ExperimentResult:
+    """Both panels merged."""
+    merged = ExperimentResult(name="Figure 8", description="skewed traffic")
+    for sub in (
+        run_fig08_single(trials=trials, seed=seed, include_baselines=include_baselines),
+        run_fig08_multiple(trials=trials, seed=seed, include_baselines=include_baselines),
+    ):
+        for point in sub.points:
+            merged.add_point({"panel": sub.name, **point.parameters}, point.metrics)
+    return merged

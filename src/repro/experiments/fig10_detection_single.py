@@ -1,0 +1,35 @@
+"""Figure 10: Algorithm 1 precision/recall vs the drop rate of a single failed
+link, compared against the integer and binary programs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import average_over_trials, detection_metrics
+
+DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
+
+
+def run_fig10(
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+) -> ExperimentResult:
+    """Regenerate Figure 10 (detection precision/recall, single failure)."""
+    result = ExperimentResult(
+        name="Figure 10",
+        description="Algorithm 1 precision/recall vs drop rate, single failure",
+    )
+    metrics = detection_metrics(include_baselines=include_baselines)
+    for rate in drop_rates:
+        config = ScenarioConfig(
+            num_bad_links=1,
+            drop_rate_range=(rate, rate),
+            seed=seed,
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"drop_rate": rate}, averaged)
+    return result

@@ -1,0 +1,51 @@
+"""Figure 11: impact of the failed link's location on Algorithm 1.
+
+The same drop-rate sweep is run with the failure placed on each of the four
+directed fabric locations the paper distinguishes: ToR->T1, T1->T2, T2->T1 and
+T1->ToR.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import average_over_trials, detection_metrics
+from repro.topology.elements import LinkLevel
+
+DEFAULT_DROP_RATES = (5e-4, 1e-3, 5e-3, 1e-2)
+
+#: (label, link level, downward?) for the four locations of Figure 11.
+LOCATIONS: Tuple[Tuple[str, LinkLevel, bool], ...] = (
+    ("ToR-T1", LinkLevel.LEVEL1, False),
+    ("T1-T2", LinkLevel.LEVEL2, False),
+    ("T2-T1", LinkLevel.LEVEL2, True),
+    ("T1-ToR", LinkLevel.LEVEL1, True),
+)
+
+
+def run_fig11(
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    trials: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Figure 11 (failure location vs detection precision/recall)."""
+    result = ExperimentResult(
+        name="Figure 11",
+        description="Algorithm 1 precision/recall by failed-link location",
+    )
+    metrics = detection_metrics(include_baselines=False)
+    for label, level, downward in LOCATIONS:
+        for rate in drop_rates:
+            config = ScenarioConfig(
+                failure_kind="level",
+                failure_level=level,
+                failure_downward=downward,
+                num_bad_links=1,
+                drop_rate_range=(rate, rate),
+                seed=seed,
+            )
+            averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+            result.add_point({"location": label, "drop_rate": rate}, averaged)
+    return result

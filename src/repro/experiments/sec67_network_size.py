@@ -1,0 +1,61 @@
+"""Section 6.7: effect of the network size (number of pods).
+
+The paper reports single-failure per-connection accuracy of 98/92/91/90% for
+1-4 pods for 007 (vs 94/72/79/77% for the optimization), Algorithm 1 recall
+>= 98% up to 6 pods, and precision 100% at every size.  It also notes accuracy
+is essentially unchanged with >= 30 failed links.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import (
+    accuracy_metrics,
+    average_over_trials,
+    detection_metrics,
+)
+from repro.topology.elements import LinkLevel
+
+
+def run_sec67(
+    pod_counts: Sequence[int] = (1, 2, 3),
+    trials: int = 2,
+    seed: int = 0,
+    include_baselines: bool = True,
+    many_failures: int = 30,
+) -> ExperimentResult:
+    """Regenerate the Section 6.7 network-size study."""
+    result = ExperimentResult(
+        name="Section 6.7", description="accuracy and detection vs number of pods"
+    )
+    metrics = dict(accuracy_metrics(include_baselines=include_baselines))
+    metrics.update(detection_metrics(include_baselines=False))
+    for pods in pod_counts:
+        config = ScenarioConfig(
+            npod=pods,
+            num_bad_links=1,
+            drop_rate_range=(1e-3, 1e-2),
+            # A single-pod Clos carries no cross-pod traffic, so level-2 links
+            # see no flows; keep the injected failure on a level the traffic
+            # actually exercises.
+            failure_levels=(LinkLevel.LEVEL1,) if pods == 1 else (LinkLevel.LEVEL1, LinkLevel.LEVEL2),
+            seed=seed,
+        )
+        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
+        result.add_point({"pods": pods, "num_failed_links": 1}, averaged)
+
+    # The ">= 30 simultaneous failures" data point of Section 6.7.
+    if many_failures:
+        config = ScenarioConfig(
+            npod=2,
+            num_bad_links=many_failures,
+            drop_rate_range=(1e-3, 1e-2),
+            seed=seed,
+        )
+        accuracy_only = accuracy_metrics(include_baselines=include_baselines)
+        averaged = average_over_trials(config, accuracy_only, trials=trials, base_seed=seed)
+        result.add_point({"pods": 2, "num_failed_links": many_failures}, averaged)
+    return result

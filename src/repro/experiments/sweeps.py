@@ -1,0 +1,84 @@
+"""Sweep helpers shared by the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+MetricFn = Callable[[ScenarioResult], float]
+
+
+def average_over_trials(
+    config: ScenarioConfig,
+    metric_fns: Mapping[str, MetricFn],
+    trials: int = 3,
+    base_seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """Run ``config`` ``trials`` times (different seeds) and average each metric.
+
+    ``nan`` values (e.g. accuracy when no flow crossed a failed link in a
+    trial) are ignored in the average; a metric that is ``nan`` in every trial
+    stays ``nan``.
+    """
+    samples: Dict[str, List[float]] = {name: [] for name in metric_fns}
+    for trial in range(trials):
+        seed = (base_seed if base_seed is not None else config.seed) + 1009 * trial
+        result = run_scenario(replace(config, seed=seed))
+        for name, fn in metric_fns.items():
+            value = float(fn(result))
+            if not np.isnan(value):
+                samples[name].append(value)
+    return {
+        name: (float(np.mean(values)) if values else float("nan"))
+        for name, values in samples.items()
+    }
+
+
+def standard_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
+    """The metric set most figures report: accuracy + detection for 007 and baselines."""
+    metrics: Dict[str, MetricFn] = {
+        "accuracy_007": lambda r: r.accuracy_007(),
+        "precision_007": lambda r: r.detection_007().precision,
+        "recall_007": lambda r: r.detection_007().recall,
+    }
+    if include_baselines:
+        metrics.update(
+            {
+                "accuracy_integer": lambda r: r.accuracy_integer_program(exact=False),
+                "precision_integer": lambda r: r.integer_program_detection(exact=False).precision,
+                "recall_integer": lambda r: r.integer_program_detection(exact=False).recall,
+                "precision_binary": lambda r: r.binary_program_detection(exact=False).precision,
+                "recall_binary": lambda r: r.binary_program_detection(exact=False).recall,
+            }
+        )
+    return metrics
+
+
+def accuracy_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
+    """Just the per-connection accuracy metrics (Figures 3, 5-9)."""
+    metrics: Dict[str, MetricFn] = {"accuracy_007": lambda r: r.accuracy_007()}
+    if include_baselines:
+        metrics["accuracy_integer"] = lambda r: r.accuracy_integer_program(exact=False)
+    return metrics
+
+
+def detection_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
+    """Just the Algorithm 1 precision/recall metrics (Figures 4, 10-12)."""
+    metrics: Dict[str, MetricFn] = {
+        "precision_007": lambda r: r.detection_007().precision,
+        "recall_007": lambda r: r.detection_007().recall,
+    }
+    if include_baselines:
+        metrics.update(
+            {
+                "precision_integer": lambda r: r.integer_program_detection(exact=False).precision,
+                "recall_integer": lambda r: r.integer_program_detection(exact=False).recall,
+                "precision_binary": lambda r: r.binary_program_detection(exact=False).precision,
+                "recall_binary": lambda r: r.binary_program_detection(exact=False).recall,
+            }
+        )
+    return metrics

@@ -1,0 +1,15 @@
+"""Evaluation metrics: per-flow accuracy, detection precision and recall."""
+
+from repro.metrics.evaluation import (
+    DetectionScore,
+    detection_precision_recall,
+    per_flow_accuracy,
+    top_k_recall,
+)
+
+__all__ = [
+    "DetectionScore",
+    "detection_precision_recall",
+    "per_flow_accuracy",
+    "top_k_recall",
+]

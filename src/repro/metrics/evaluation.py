@@ -1,0 +1,131 @@
+"""Scoring 007 and the baselines against simulator ground truth.
+
+The paper uses three measures (Section 6):
+
+* **accuracy** — the fraction of flows whose drop cause was identified
+  correctly (per-connection diagnosis);
+* **recall** — the fraction of genuinely failed links that were detected
+  (false negatives);
+* **precision** — the fraction of detected links that had genuinely failed
+  (false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
+
+from repro.topology.elements import DirectedLink, Link
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Precision/recall of a detected link set against ground truth."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _normalize(links: Iterable[DirectedLink | Link], physical: bool) -> Set:
+    """Optionally collapse directed links onto physical links before comparing."""
+    result = set()
+    for link in links:
+        if physical and isinstance(link, DirectedLink):
+            result.add(link.undirected())
+        else:
+            result.add(link)
+    return result
+
+
+def detection_precision_recall(
+    detected: Iterable[DirectedLink | Link],
+    true_bad: Iterable[DirectedLink | Link],
+    physical: bool = False,
+) -> DetectionScore:
+    """Score a detected link set against the injected (ground truth) failures.
+
+    ``physical=True`` compares undirected cables instead of directions, which
+    matches how an operator would act on the report (replace the cable/port).
+    """
+    detected_set = _normalize(detected, physical)
+    true_set = _normalize(true_bad, physical)
+    tp = len(detected_set & true_set)
+    fp = len(detected_set - true_set)
+    fn = len(true_set - detected_set)
+    precision = tp / (tp + fp) if (tp + fp) else (1.0 if not true_set else 0.0)
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    return DetectionScore(
+        precision=precision,
+        recall=recall,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )
+
+
+def per_flow_accuracy(
+    predicted_causes: Mapping[int, DirectedLink],
+    true_causes: Mapping[int, Optional[DirectedLink]],
+    restrict_to: Optional[Iterable[int]] = None,
+    physical: bool = False,
+) -> float:
+    """Fraction of flows whose predicted culprit matches the ground truth.
+
+    Only flows present in ``true_causes`` with a non-``None`` true cause are
+    scored (flows whose drops were pure noise have no meaningful culprit).
+    ``restrict_to`` further narrows the scored flows (e.g. only flows that
+    traversed an injected failure, as in Section 7.2).  Returns ``nan`` when
+    no flow qualifies.
+    """
+    eligible = [
+        flow_id
+        for flow_id, true_link in true_causes.items()
+        if true_link is not None
+    ]
+    if restrict_to is not None:
+        allowed = set(restrict_to)
+        eligible = [flow_id for flow_id in eligible if flow_id in allowed]
+    if not eligible:
+        return float("nan")
+    correct = 0
+    for flow_id in eligible:
+        predicted = predicted_causes.get(flow_id)
+        if predicted is None:
+            continue
+        true_link = true_causes[flow_id]
+        if physical:
+            if predicted.undirected() == true_link.undirected():
+                correct += 1
+        elif predicted == true_link:
+            correct += 1
+    return correct / len(eligible)
+
+
+def top_k_recall(
+    ranked_links: Sequence[DirectedLink],
+    true_bad: Iterable[DirectedLink],
+    k: Optional[int] = None,
+) -> float:
+    """Fraction of true bad links appearing among the top ``k`` ranked links.
+
+    ``k`` defaults to the number of true bad links (the "if the top k links
+    had been selected" analysis of Section 6.6).  Returns 1.0 when there are
+    no true bad links.
+    """
+    true_set = set(true_bad)
+    if not true_set:
+        return 1.0
+    if k is None:
+        k = len(true_set)
+    top = set(ranked_links[:k])
+    return len(top & true_set) / len(true_set)

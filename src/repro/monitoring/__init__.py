@@ -1,0 +1,6 @@
+"""TCP monitoring agent (the ETW-fed component of 007)."""
+
+from repro.monitoring.etw import EtwEventSource
+from repro.monitoring.agent import TcpMonitoringAgent
+
+__all__ = ["EtwEventSource", "TcpMonitoringAgent"]

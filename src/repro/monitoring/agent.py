@@ -1,0 +1,61 @@
+"""The TCP monitoring agent.
+
+It watches the (ETW-like) event stream for retransmissions, immediately
+triggers the path discovery agent, and hands the resulting
+``(flow, discovered path)`` pairs to the analysis agent at the end of each
+epoch.  Connection-setup failures are observed but never traced
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.discovery.agent import DiscoveredPath, PathDiscoveryAgent
+from repro.netsim.events import ConnectionSetupFailureEvent, RetransmissionEvent
+
+
+@dataclass
+class MonitoringStats:
+    """Counters of what the monitoring agent observed."""
+
+    retransmission_events: int = 0
+    setup_failure_events: int = 0
+    paths_discovered: int = 0
+
+
+class TcpMonitoringAgent:
+    """Bridges retransmission events to path discovery and collects the results."""
+
+    def __init__(self, path_discovery: PathDiscoveryAgent) -> None:
+        self._path_discovery = path_discovery
+        self._discovered: Dict[int, List[DiscoveredPath]] = {}
+        self.stats = MonitoringStats()
+
+    # ------------------------------------------------------------------
+    def handle_event(self, event: object) -> None:
+        """Event-bus callback: dispatch on the event type."""
+        if isinstance(event, RetransmissionEvent):
+            self._on_retransmission(event)
+        elif isinstance(event, ConnectionSetupFailureEvent):
+            self.stats.setup_failure_events += 1
+
+    def _on_retransmission(self, event: RetransmissionEvent) -> None:
+        self.stats.retransmission_events += 1
+        discovered = self._path_discovery.discover(event)
+        if discovered is None:
+            return
+        self.stats.paths_discovered += 1
+        epoch_paths = self._discovered.setdefault(event.epoch, [])
+        if discovered not in epoch_paths:
+            epoch_paths.append(discovered)
+
+    # ------------------------------------------------------------------
+    def paths_for_epoch(self, epoch: int) -> List[DiscoveredPath]:
+        """The unique discovered paths of flows that had retransmissions in ``epoch``."""
+        return list(self._discovered.get(epoch, []))
+
+    def clear_epoch(self, epoch: int) -> None:
+        """Drop the stored paths of ``epoch`` (after the analysis agent consumed them)."""
+        self._discovered.pop(epoch, None)

@@ -1,0 +1,37 @@
+"""A minimal Event-Tracing-for-Windows-like event bus.
+
+In production 007 registers for ETW TCP retransmission notifications (Linux
+has equivalent tracepoints).  Here the simulator publishes
+:class:`~repro.netsim.events.RetransmissionEvent`s into this bus and the
+monitoring agent subscribes to it; the indirection keeps the agent decoupled
+from the simulator, exactly as it is decoupled from the kernel in production.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+EventCallback = Callable[[object], None]
+
+
+class EtwEventSource:
+    """A tiny synchronous publish/subscribe event bus."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[EventCallback] = []
+        self._published = 0
+
+    def subscribe(self, callback: EventCallback) -> None:
+        """Register a callback to receive every published event."""
+        self._subscribers.append(callback)
+
+    def publish(self, event: object) -> None:
+        """Deliver ``event`` to every subscriber, in registration order."""
+        self._published += 1
+        for callback in self._subscribers:
+            callback(event)
+
+    @property
+    def published(self) -> int:
+        """Number of events published so far."""
+        return self._published

@@ -1,0 +1,39 @@
+"""Host-observable events raised by the simulator.
+
+These play the role of the Windows ETW notifications used in production: the
+TCP monitoring agent subscribes to them and reacts to retransmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.fivetuple import FiveTuple
+
+
+@dataclass(frozen=True)
+class RetransmissionEvent:
+    """A flow suffered one or more TCP retransmissions."""
+
+    flow_id: int
+    epoch: int
+    src_host: str
+    dst_host: str
+    five_tuple: FiveTuple
+    retransmissions: int
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class ConnectionSetupFailureEvent:
+    """TCP connection establishment itself failed (SYN lost repeatedly).
+
+    007 does not trigger path discovery for these flows (Section 4.2).
+    """
+
+    flow_id: int
+    epoch: int
+    src_host: str
+    dst_host: str
+    five_tuple: FiveTuple
+    timestamp: float = 0.0

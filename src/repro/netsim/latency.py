@@ -1,0 +1,99 @@
+"""Per-link latency model (used by the Section 9.2 latency-diagnosis extension).
+
+Each directed link has a propagation/processing delay and an optional extra
+queueing delay when it is congested or misbehaving.  A flow's RTT sample is
+the sum of link delays along the forward path plus the reverse-path delay
+(approximated as the same path traversed backwards) plus log-normal jitter —
+enough structure for the RTT-thresholding extension of 007 to have a real
+signal to detect, without simulating queues packet by packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.routing.paths import Path
+from repro.topology.elements import DirectedLink
+from repro.topology.topology import Topology
+from repro.util.rng import RngLike, ensure_rng
+
+#: per-hop base delay in microseconds (typical datacenter store-and-forward).
+DEFAULT_HOP_DELAY_US = 10.0
+#: multiplicative jitter applied to every RTT sample.
+DEFAULT_JITTER_SIGMA = 0.05
+
+
+class LinkLatencyModel:
+    """Per-link one-way delays with inflation for misbehaving links."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        base_delay_us: float = DEFAULT_HOP_DELAY_US,
+        jitter_sigma: float = DEFAULT_JITTER_SIGMA,
+        rng: RngLike = 0,
+    ) -> None:
+        if base_delay_us <= 0:
+            raise ValueError("base_delay_us must be positive")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+        self._topology = topology
+        self._jitter_sigma = jitter_sigma
+        self._rng = ensure_rng(rng)
+        self._delay_us: Dict[DirectedLink, float] = {
+            link: base_delay_us for link in topology.directed_links()
+        }
+        self._inflated: Dict[DirectedLink, float] = {}
+
+    # ------------------------------------------------------------------
+    def delay_of(self, link: DirectedLink) -> float:
+        """Current one-way delay (µs) of a directed link."""
+        return self._delay_us[link] + self._inflated.get(link, 0.0)
+
+    def inflate_link(self, link: DirectedLink, extra_us: float) -> None:
+        """Add queueing/processing delay to a link (congestion, failing optics)."""
+        if extra_us < 0:
+            raise ValueError("extra_us must be >= 0")
+        if link not in self._delay_us:
+            raise KeyError(f"unknown link {link}")
+        self._inflated[link] = extra_us
+
+    def clear_inflation(self, link: DirectedLink) -> None:
+        """Remove any extra delay from a link."""
+        self._inflated.pop(link, None)
+
+    @property
+    def inflated_links(self) -> Dict[DirectedLink, float]:
+        """Links currently carrying extra delay (ground truth for experiments)."""
+        return dict(self._inflated)
+
+    # ------------------------------------------------------------------
+    def path_one_way_delay(self, path: Path) -> float:
+        """Deterministic one-way delay (µs) of a path."""
+        return float(sum(self.delay_of(link) for link in path.links))
+
+    def sample_rtt(self, path: Path, reverse_path: Optional[Path] = None) -> float:
+        """One RTT sample (µs) for a flow on ``path`` (jittered)."""
+        forward = self.path_one_way_delay(path)
+        if reverse_path is not None:
+            backward = self.path_one_way_delay(reverse_path)
+        else:
+            backward = float(
+                sum(self.delay_of(link.reversed()) for link in path.links)
+            )
+        jitter = float(np.exp(self._rng.normal(0.0, self._jitter_sigma))) if self._jitter_sigma else 1.0
+        return (forward + backward) * jitter
+
+    def sample_smoothed_rtt(
+        self, path: Path, samples: int = 8, reverse_path: Optional[Path] = None
+    ) -> float:
+        """TCP-style smoothed RTT (µs): the EWMA of several samples."""
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        srtt = self.sample_rtt(path, reverse_path)
+        for _ in range(samples - 1):
+            srtt = 0.875 * srtt + 0.125 * self.sample_rtt(path, reverse_path)
+        return float(srtt)

@@ -1,0 +1,147 @@
+"""Flow-level TCP transfer model.
+
+A connection sends ``num_packets`` data packets along its path.  Each link
+drops each arriving packet independently with the link's drop probability.
+TCP is reliable: every dropped packet is detected (fast retransmit or RTO) and
+retransmitted in a later round, where it is again exposed to drops.  The
+number of *retransmissions* observed by the sender equals the total number of
+drops across rounds — this is exactly the signal ETW reports to the 007
+monitoring agent.
+
+The model deliberately stays at the flow level (no per-packet sequence
+numbers, no congestion window): the paper's own evaluation uses the same
+abstraction, and Theorem 2 only depends on the probability that a connection
+sees at least one drop on a given link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.netsim.links import LinkStateTable
+from repro.routing.paths import Path
+from repro.topology.elements import DirectedLink
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class TransferResult:
+    """Outcome of transferring one connection's packets over its path."""
+
+    num_packets: int
+    packets_delivered: int
+    packets_lost: int
+    retransmissions: int
+    drops_by_link: Dict[DirectedLink, int] = field(default_factory=dict)
+    rounds: int = 1
+    connection_failed: bool = False
+
+    @property
+    def has_retransmission(self) -> bool:
+        """True when the sender observed at least one retransmission."""
+        return self.retransmissions > 0
+
+    @property
+    def total_drops(self) -> int:
+        """Total packets dropped across all transmission rounds."""
+        return int(sum(self.drops_by_link.values()))
+
+    def dominant_drop_link(self) -> Optional[DirectedLink]:
+        """The link that dropped the most packets (ground truth for accuracy).
+
+        Ties are broken deterministically by link ordering.  Returns ``None``
+        when no packet was dropped.
+        """
+        if not self.drops_by_link:
+            return None
+        return max(sorted(self.drops_by_link), key=lambda l: self.drops_by_link[l])
+
+
+def simulate_transfer(
+    path: Path,
+    num_packets: int,
+    link_table: LinkStateTable,
+    rng: RngLike = None,
+    max_rounds: int = 4,
+) -> TransferResult:
+    """Simulate a TCP transfer of ``num_packets`` packets along ``path``.
+
+    Parameters
+    ----------
+    path:
+        The (forward) path of the connection.
+    num_packets:
+        Number of distinct data packets to deliver.
+    link_table:
+        Per-link drop probabilities.
+    rng:
+        Seed or generator.
+    max_rounds:
+        Maximum number of transmission rounds (original + retransmissions).
+        Packets still undelivered after ``max_rounds`` mark the connection as
+        failed — the VM-reboot model keys off this flag.
+
+    Returns
+    -------
+    TransferResult
+        Drop counts per link, retransmission count and delivery statistics.
+    """
+    if num_packets < 0:
+        raise ValueError("num_packets must be >= 0")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    generator = ensure_rng(rng)
+
+    drop_probs = [link_table.drop_probability(link) for link in path.links]
+    drops_by_link: Dict[DirectedLink, int] = {}
+    delivered = 0
+    outstanding = num_packets
+    rounds = 0
+
+    while outstanding > 0 and rounds < max_rounds:
+        rounds += 1
+        in_flight = outstanding
+        for link, p in zip(path.links, drop_probs):
+            if in_flight == 0:
+                break
+            if p <= 0.0:
+                continue
+            dropped = int(generator.binomial(in_flight, p)) if p < 1.0 else in_flight
+            if dropped:
+                drops_by_link[link] = drops_by_link.get(link, 0) + dropped
+                in_flight -= dropped
+        delivered += in_flight
+        outstanding -= in_flight
+
+    total_drops = int(sum(drops_by_link.values()))
+    return TransferResult(
+        num_packets=num_packets,
+        packets_delivered=delivered,
+        packets_lost=outstanding,
+        retransmissions=total_drops,
+        drops_by_link=drops_by_link,
+        rounds=max(rounds, 1),
+        connection_failed=outstanding > 0,
+    )
+
+
+def probability_of_retransmission(
+    path: Path, num_packets: int, link_table: LinkStateTable
+) -> float:
+    """Analytic probability that a transfer over ``path`` sees >= 1 retransmission.
+
+    ``1 - prod_l (1 - p_l)^n`` — used by the theory module and by tests as an
+    oracle for the Monte-Carlo model above (first-round approximation).
+    """
+    if num_packets <= 0:
+        return 0.0
+    log_ok = 0.0
+    for link in path.links:
+        p = link_table.drop_probability(link)
+        if p >= 1.0:
+            return 1.0
+        log_ok += num_packets * np.log1p(-p)
+    return float(1.0 - np.exp(log_ok))

@@ -1,0 +1,224 @@
+"""Traffic generators: who talks to whom, how many packets, per epoch.
+
+The paper's simulation setup: every host establishes a fixed (or uniformly
+random) number of connections per epoch to hosts under a random ToR outside
+its own rack, with up to 100 packets per connection.  The skewed and hot-ToR
+variants reproduce the Section 6.5 experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.clos import ClosTopology
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TrafficDemand:
+    """One connection to establish during an epoch."""
+
+    src_host: str
+    dst_host: str
+    num_packets: int
+    kind: str = "data"
+
+
+def _sample_packets(
+    rng: np.random.Generator, packets_per_flow: int | Tuple[int, int]
+) -> int:
+    """Draw the packet count of one flow from a fixed value or inclusive range."""
+    if isinstance(packets_per_flow, tuple):
+        low, high = packets_per_flow
+        return int(rng.integers(low, high + 1))
+    return int(packets_per_flow)
+
+
+def _sample_connection_count(
+    rng: np.random.Generator, connections_per_host: int | Tuple[int, int]
+) -> int:
+    """Draw the per-host connection count (fixed or uniform range, Section 6.4)."""
+    if isinstance(connections_per_host, tuple):
+        low, high = connections_per_host
+        return int(rng.integers(low, high + 1))
+    return int(connections_per_host)
+
+
+class TrafficGenerator(abc.ABC):
+    """Base class for per-epoch traffic generation."""
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        connections_per_host: int | Tuple[int, int] = 60,
+        packets_per_flow: int | Tuple[int, int] = 100,
+    ) -> None:
+        self._topology = topology
+        self._connections_per_host = connections_per_host
+        self._packets_per_flow = packets_per_flow
+        self._hosts = sorted(topology.hosts)
+
+    @property
+    def topology(self) -> ClosTopology:
+        """The topology demands are generated for."""
+        return self._topology
+
+    @abc.abstractmethod
+    def pick_destination(
+        self, rng: np.random.Generator, src_host: str
+    ) -> Optional[str]:
+        """Pick the destination host for one connection from ``src_host``."""
+
+    def generate(self, epoch: int, rng: RngLike = None) -> List[TrafficDemand]:
+        """Generate the connection demands for one epoch."""
+        generator = ensure_rng(rng)
+        demands: List[TrafficDemand] = []
+        for src in self._hosts:
+            count = _sample_connection_count(generator, self._connections_per_host)
+            for _ in range(count):
+                dst = self.pick_destination(generator, src)
+                if dst is None or dst == src:
+                    continue
+                demands.append(
+                    TrafficDemand(
+                        src_host=src,
+                        dst_host=dst,
+                        num_packets=_sample_packets(generator, self._packets_per_flow),
+                    )
+                )
+        return demands
+
+    # ------------------------------------------------------------------
+    def _hosts_outside_rack(self, src_host: str) -> List[str]:
+        """Hosts under a different ToR than ``src_host`` (the default victims)."""
+        src_tor = self._topology.host(src_host).tor
+        return [h for h in self._hosts if self._topology.host(h).tor != src_tor]
+
+
+class UniformTraffic(TrafficGenerator):
+    """Each host talks to uniformly random hosts outside its own rack."""
+
+    def pick_destination(
+        self, rng: np.random.Generator, src_host: str
+    ) -> Optional[str]:
+        candidates = self._hosts_outside_rack(src_host)
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+
+class SkewedTraffic(TrafficGenerator):
+    """Section 6.5 skew: a fraction of flows target hosts under a few hot ToRs.
+
+    Parameters
+    ----------
+    hot_tors:
+        Names of the hot ToR switches.  When omitted, ``num_hot_tors`` ToRs
+        are chosen deterministically (the first ones in sorted order).
+    hot_fraction:
+        Probability that a connection targets a host under a hot ToR
+        (the paper uses 0.8 with 25% of ToRs hot).
+    """
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        connections_per_host: int | Tuple[int, int] = 60,
+        packets_per_flow: int | Tuple[int, int] = 100,
+        hot_tors: Optional[Sequence[str]] = None,
+        num_hot_tors: int = 10,
+        hot_fraction: float = 0.8,
+    ) -> None:
+        super().__init__(topology, connections_per_host, packets_per_flow)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        all_tors = [s.name for s in topology.tors()]
+        if hot_tors is None:
+            hot_tors = all_tors[: min(num_hot_tors, len(all_tors))]
+        unknown = set(hot_tors) - set(all_tors)
+        if unknown:
+            raise ValueError(f"unknown hot ToRs: {sorted(unknown)}")
+        self._hot_tors = list(hot_tors)
+        self._hot_fraction = hot_fraction
+        self._hot_hosts = [
+            h for h in self._hosts if topology.host(h).tor in set(self._hot_tors)
+        ]
+
+    @property
+    def hot_tors(self) -> List[str]:
+        """The ToRs receiving the skewed share of traffic."""
+        return list(self._hot_tors)
+
+    def pick_destination(
+        self, rng: np.random.Generator, src_host: str
+    ) -> Optional[str]:
+        src_tor = self._topology.host(src_host).tor
+        if rng.random() < self._hot_fraction:
+            candidates = [
+                h for h in self._hot_hosts if self._topology.host(h).tor != src_tor
+            ]
+        else:
+            candidates = self._hosts_outside_rack(src_host)
+        if not candidates:
+            candidates = self._hosts_outside_rack(src_host)
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+
+class HotTorTraffic(SkewedTraffic):
+    """Section 6.5 "hot ToR": a single sink ToR attracts a fraction of all flows."""
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        hot_tor: Optional[str] = None,
+        skew: float = 0.5,
+        connections_per_host: int | Tuple[int, int] = 60,
+        packets_per_flow: int | Tuple[int, int] = 100,
+    ) -> None:
+        all_tors = [s.name for s in topology.tors()]
+        if hot_tor is None:
+            hot_tor = all_tors[0]
+        super().__init__(
+            topology,
+            connections_per_host=connections_per_host,
+            packets_per_flow=packets_per_flow,
+            hot_tors=[hot_tor],
+            hot_fraction=skew,
+        )
+
+    @property
+    def hot_tor(self) -> str:
+        """The single sink ToR."""
+        return self._hot_tors[0]
+
+
+class ReplayTraffic(TrafficGenerator):
+    """Replays a recorded list of demands, one list per epoch (Section 7 setup).
+
+    Epochs beyond the recorded trace wrap around, mimicking the paper's replay
+    of a 6-hour production capture with shifted start times.
+    """
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        demands_per_epoch: Sequence[Sequence[TrafficDemand]],
+    ) -> None:
+        super().__init__(topology)
+        if not demands_per_epoch:
+            raise ValueError("demands_per_epoch must not be empty")
+        self._trace = [list(epoch) for epoch in demands_per_epoch]
+
+    def pick_destination(
+        self, rng: np.random.Generator, src_host: str
+    ) -> Optional[str]:  # pragma: no cover - not used by replay
+        raise NotImplementedError("ReplayTraffic replays recorded demands")
+
+    def generate(self, epoch: int, rng: RngLike = None) -> List[TrafficDemand]:
+        return list(self._trace[epoch % len(self._trace)])

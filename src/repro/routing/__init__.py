@@ -1,0 +1,16 @@
+"""Routing substrate: five-tuples, ECMP forwarding, paths and routing matrices."""
+
+from repro.routing.fivetuple import FiveTuple
+from repro.routing.paths import Path
+from repro.routing.ecmp import EcmpRouter
+from repro.routing.routing_matrix import RoutingMatrix, build_routing_matrix
+from repro.routing.bgp import BgpRerouter
+
+__all__ = [
+    "FiveTuple",
+    "Path",
+    "EcmpRouter",
+    "RoutingMatrix",
+    "build_routing_matrix",
+    "BgpRerouter",
+]

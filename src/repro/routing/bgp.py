@@ -1,0 +1,78 @@
+"""BGP-style reroute-around-failure behaviour.
+
+A lossy or dead link may cause BGP sessions across it to fail, after which the
+switches withdraw routes over it and ECMP stops using it.  The paper relies on
+paths staying stable for a few milliseconds after a drop so that traceroutes
+measure the original path; :class:`BgpRerouter` models both the steady state
+(links withdrawn) and an optional convergence delay during which the old path
+is still in use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.topology.elements import DirectedLink, Link
+
+
+class BgpRerouter:
+    """Tracks withdrawn links and exposes a ``link_down`` predicate for ECMP.
+
+    Parameters
+    ----------
+    convergence_epochs:
+        Number of epochs a withdrawal takes to propagate.  ``0`` (default)
+        means reroutes take effect immediately; positive values delay the
+        effect, which lets experiments reproduce the "traceroute raced a
+        reroute" corner case of Section 4.2.
+    """
+
+    def __init__(self, convergence_epochs: int = 0) -> None:
+        if convergence_epochs < 0:
+            raise ValueError("convergence_epochs must be >= 0")
+        self._convergence_epochs = convergence_epochs
+        self._withdrawn: Set[Link] = set()
+        self._pending: dict[Link, int] = {}
+
+    # ------------------------------------------------------------------
+    def withdraw_link(self, link: Link | DirectedLink) -> None:
+        """Withdraw routes over a physical link (both directions)."""
+        physical = link.undirected() if isinstance(link, DirectedLink) else link
+        if physical in self._withdrawn:
+            return
+        if self._convergence_epochs == 0:
+            self._withdrawn.add(physical)
+        else:
+            self._pending.setdefault(physical, self._convergence_epochs)
+
+    def restore_link(self, link: Link | DirectedLink) -> None:
+        """Re-announce routes over a previously withdrawn link."""
+        physical = link.undirected() if isinstance(link, DirectedLink) else link
+        self._withdrawn.discard(physical)
+        self._pending.pop(physical, None)
+
+    def advance_epoch(self) -> None:
+        """Advance simulated time by one epoch, converging pending withdrawals."""
+        done = []
+        for link in list(self._pending):
+            self._pending[link] -= 1
+            if self._pending[link] <= 0:
+                done.append(link)
+        for link in done:
+            self._pending.pop(link, None)
+            self._withdrawn.add(link)
+
+    # ------------------------------------------------------------------
+    @property
+    def withdrawn_links(self) -> Set[Link]:
+        """The set of currently withdrawn physical links."""
+        return set(self._withdrawn)
+
+    def is_link_down(self, link: DirectedLink) -> bool:
+        """Predicate suitable for :meth:`EcmpRouter.set_link_down_predicate`."""
+        return link.undirected() in self._withdrawn
+
+    def withdraw_many(self, links: Iterable[Link | DirectedLink]) -> None:
+        """Withdraw a collection of links."""
+        for link in links:
+            self.withdraw_link(link)

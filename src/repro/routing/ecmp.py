@@ -1,0 +1,193 @@
+"""Deterministic per-switch hashed ECMP forwarding over a Clos topology.
+
+Every switch hashes the packet five-tuple together with a private seed to pick
+one of its equal-cost next hops (RFC 2992 style).  The seeds are unknown to
+the end hosts — mirroring the paper's observation that ECMP functions are
+proprietary and change across reboots — which is why 007 must *measure* paths
+with traceroute instead of computing them.
+
+The router also honours a ``link_down`` predicate so that BGP-style rerouting
+around failed links can be simulated (see :mod:`repro.routing.bgp`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.routing.fivetuple import FiveTuple
+from repro.routing.paths import Path
+from repro.topology.clos import ClosTopology
+from repro.topology.elements import DirectedLink
+from repro.util.rng import RngLike, ensure_rng
+
+LinkDownPredicate = Callable[[DirectedLink], bool]
+
+
+class NoRouteError(RuntimeError):
+    """Raised when every candidate next hop toward the destination is down."""
+
+
+def _stable_hash(*parts: object) -> int:
+    """A process-stable 32-bit hash of the given parts."""
+    payload = "|".join(str(p) for p in parts).encode("utf-8")
+    return zlib.crc32(payload)
+
+
+class EcmpRouter:
+    """ECMP routing over a :class:`~repro.topology.clos.ClosTopology`.
+
+    Parameters
+    ----------
+    topology:
+        The Clos topology to route over.
+    rng:
+        Seed or generator used to draw the per-switch hash seeds.
+    link_down:
+        Optional predicate; next hops whose outgoing link satisfies it are
+        excluded from the ECMP group (models BGP withdrawing routes over
+        failed links).
+    """
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        rng: RngLike = 0,
+        link_down: Optional[LinkDownPredicate] = None,
+    ) -> None:
+        self._topology = topology
+        self._rng = ensure_rng(rng)
+        self._link_down = link_down or (lambda link: False)
+        self._seeds = {
+            name: int(self._rng.integers(0, 2**31 - 1))
+            for name in sorted(topology.switches)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> ClosTopology:
+        """The topology this router forwards over."""
+        return self._topology
+
+    def set_link_down_predicate(self, predicate: Optional[LinkDownPredicate]) -> None:
+        """Replace the link-down predicate (``None`` restores "all links up")."""
+        self._link_down = predicate or (lambda link: False)
+
+    def reseed_switch(self, switch: str, rng: RngLike = None) -> None:
+        """Change a switch's ECMP seed, as happens when the switch reboots."""
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        self._seeds[switch] = int(generator.integers(0, 2**31 - 1))
+
+    def seed_of(self, switch: str) -> int:
+        """The (normally proprietary) ECMP seed of ``switch``."""
+        return self._seeds[switch]
+
+    # ------------------------------------------------------------------
+    def route(self, flow: FiveTuple, src_host: str, dst_host: str) -> Path:
+        """Compute the path the packets of ``flow`` take from ``src_host`` to ``dst_host``.
+
+        Raises :class:`NoRouteError` when a switch on the way has no live next
+        hop toward the destination.
+        """
+        topo = self._topology
+        if not topo.is_host(src_host) or not topo.is_host(dst_host):
+            raise ValueError("route() endpoints must be hosts")
+        if src_host == dst_host:
+            raise ValueError("cannot route a flow from a host to itself")
+
+        nodes: List[str] = [src_host]
+        src_tor = topo.host(src_host).tor
+        dst_tor = topo.host(dst_host).tor
+        dst_pod = topo.host(dst_host).pod
+        self._append_hop(nodes, src_host, src_tor)
+
+        if src_tor == dst_tor:
+            self._append_hop(nodes, src_tor, dst_host)
+            return Path.from_nodes(nodes)
+
+        # Up to a tier-1 switch of the source pod.
+        src_pod = topo.host(src_host).pod
+        t1_candidates = [s.name for s in topo.tier1s(src_pod)]
+        t1 = self._select(src_tor, flow, t1_candidates)
+        self._append_hop(nodes, src_tor, t1)
+
+        if src_pod == dst_pod:
+            self._append_hop(nodes, t1, dst_tor)
+            self._append_hop(nodes, dst_tor, dst_host)
+            return Path.from_nodes(nodes)
+
+        # Cross-pod: up to a tier-2 switch, down into the destination pod.
+        t2_candidates = [s.name for s in topo.tier2s()]
+        t2 = self._select(t1, flow, t2_candidates)
+        self._append_hop(nodes, t1, t2)
+
+        dst_t1_candidates = [s.name for s in topo.tier1s(dst_pod)]
+        dst_t1 = self._select(t2, flow, dst_t1_candidates)
+        self._append_hop(nodes, t2, dst_t1)
+
+        self._append_hop(nodes, dst_t1, dst_tor)
+        self._append_hop(nodes, dst_tor, dst_host)
+        return Path.from_nodes(nodes)
+
+    def route_reverse(self, flow: FiveTuple, src_host: str, dst_host: str) -> Path:
+        """Path of the reverse direction (ACKs): hashes the reversed five-tuple."""
+        return self.route(flow.reversed(), dst_host, src_host)
+
+    # ------------------------------------------------------------------
+    def all_paths(self, src_host: str, dst_host: str) -> List[Path]:
+        """Enumerate every ECMP-usable path between two hosts (ignoring failures).
+
+        Used by the analytic vote-adjustment step of Algorithm 1 and by tests;
+        the count is ``n1`` for intra-pod flows and ``n1 * n2 * n1`` for
+        cross-pod flows.
+        """
+        topo = self._topology
+        src = topo.host(src_host)
+        dst = topo.host(dst_host)
+        if src.tor == dst.tor:
+            return [Path.from_nodes([src_host, src.tor, dst_host])]
+        paths: List[Path] = []
+        if src.pod == dst.pod:
+            for t1 in topo.tier1s(src.pod):
+                paths.append(
+                    Path.from_nodes([src_host, src.tor, t1.name, dst.tor, dst_host])
+                )
+            return paths
+        for t1 in topo.tier1s(src.pod):
+            for t2 in topo.tier2s():
+                for dst_t1 in topo.tier1s(dst.pod):
+                    paths.append(
+                        Path.from_nodes(
+                            [
+                                src_host,
+                                src.tor,
+                                t1.name,
+                                t2.name,
+                                dst_t1.name,
+                                dst.tor,
+                                dst_host,
+                            ]
+                        )
+                    )
+        return paths
+
+    # ------------------------------------------------------------------
+    def _select(self, switch: str, flow: FiveTuple, candidates: Sequence[str]) -> str:
+        """Pick the next hop at ``switch`` among ``candidates`` for ``flow``."""
+        live = [
+            c
+            for c in candidates
+            if not self._link_down(DirectedLink(switch, c))
+        ]
+        if not live:
+            raise NoRouteError(
+                f"switch {switch} has no live next hop toward any of {list(candidates)}"
+            )
+        index = _stable_hash(flow.canonical_key(), self._seeds[switch]) % len(live)
+        return live[index]
+
+    def _append_hop(self, nodes: List[str], src: str, dst: str) -> None:
+        """Append ``dst`` to ``nodes`` after checking the ``src``->``dst`` link is live."""
+        if self._link_down(DirectedLink(src, dst)):
+            raise NoRouteError(f"link {src}->{dst} is down and has no ECMP alternative")
+        nodes.append(dst)

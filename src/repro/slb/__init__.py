@@ -1,0 +1,10 @@
+"""Software load balancer substrate (Ananta-style VIP -> DIP mapping)."""
+
+from repro.slb.loadbalancer import (
+    SlbQueryError,
+    SnatTable,
+    SoftwareLoadBalancer,
+    VirtualSwitch,
+)
+
+__all__ = ["SoftwareLoadBalancer", "VirtualSwitch", "SnatTable", "SlbQueryError"]

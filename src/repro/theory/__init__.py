@@ -1,0 +1,24 @@
+"""Theoretical results of the paper: Theorem 1 (ICMP budget) and Theorem 2/3
+(accuracy of the voting scheme)."""
+
+from repro.theory.theorem1 import traceroute_rate_bound
+from repro.theory.theorem2 import (
+    alpha,
+    error_probability_bound,
+    kl_divergence_bernoulli,
+    max_detectable_bad_links,
+    noise_tolerance_bound,
+    retransmission_probability,
+    vote_probability_bounds,
+)
+
+__all__ = [
+    "traceroute_rate_bound",
+    "alpha",
+    "max_detectable_bad_links",
+    "noise_tolerance_bound",
+    "retransmission_probability",
+    "vote_probability_bounds",
+    "kl_divergence_bernoulli",
+    "error_probability_bound",
+]

@@ -1,0 +1,142 @@
+"""Theorem 2/3: accuracy of the voting scheme.
+
+Under the Clos/ECMP model, 007 ranks every bad link (per-packet drop
+probability ``pb``) above every good link (drop probability ``pg``) with
+probability at least ``1 - eps`` provided the signal-to-noise condition
+
+    pg <= (1 - (1 - pb)^cl) / (alpha * cu)
+
+holds, where ``cl``/``cu`` bound the packets per connection and ``alpha`` is
+the topology-dependent constant of equation (8).  The error probability decays
+exponentially in the number of connections ``N`` (equation (9), a Chernoff /
+large-deviations bound expressed with the Bernoulli KL divergence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.topology.clos import ClosParameters
+
+
+def alpha(params: ClosParameters, num_bad_links: int) -> float:
+    """The constant ``alpha`` of equation (8)."""
+    n0, n2, npod = params.n0, params.n2, params.npod
+    k = num_bad_links
+    if npod < 2:
+        raise ValueError("alpha is defined for npod >= 2")
+    denominator = n2 * (n0 * npod - 1) - n0 * (npod - 1) * k
+    if denominator <= 0:
+        raise ValueError(
+            "too many bad links for Theorem 2's regime "
+            f"(k={k} >= {max_detectable_bad_links(params):.2f})"
+        )
+    return n0 * (4 * n0 - k) * (npod - 1) / denominator
+
+
+def max_detectable_bad_links(params: ClosParameters) -> float:
+    """The bound ``k < n2 (n0 npod - 1) / (n0 (npod - 1))`` of Theorem 2."""
+    n0, n2, npod = params.n0, params.n2, params.npod
+    if npod < 2:
+        return float("inf")
+    return n2 * (n0 * npod - 1) / (n0 * (npod - 1))
+
+
+def retransmission_probability(drop_rate: float, packets: int) -> float:
+    """Probability that a connection of ``packets`` packets sees >= 1 drop."""
+    if not 0.0 <= drop_rate <= 1.0:
+        raise ValueError("drop_rate must be in [0, 1]")
+    if packets < 0:
+        raise ValueError("packets must be >= 0")
+    return 1.0 - (1.0 - drop_rate) ** packets
+
+
+def noise_tolerance_bound(
+    params: ClosParameters,
+    bad_drop_rate: float,
+    num_bad_links: int,
+    packets_lower: int,
+    packets_upper: int,
+) -> float:
+    """Maximum good-link drop rate ``pg`` tolerated by Theorem 2 (equation 7)."""
+    if packets_lower > packets_upper:
+        raise ValueError("packets_lower must be <= packets_upper")
+    a = alpha(params, num_bad_links)
+    rb_lower = retransmission_probability(bad_drop_rate, packets_lower)
+    return rb_lower / (a * packets_upper)
+
+
+def theorem2_conditions_hold(params: ClosParameters, num_bad_links: int) -> bool:
+    """Check the structural conditions of Theorem 3 (pods, n0 vs n2, k bound)."""
+    n0, n1, n2, npod = params.n0, params.n1, params.n2, params.npod
+    if n0 < n2:
+        return False
+    if npod < 2:
+        return False
+    required_pods = 1 + max(n0 / n1, n2 * (n0 - 1) / (n0 * (n0 - n2)) if n0 > n2 else 1.0, 1.0)
+    if npod < required_pods:
+        return False
+    return num_bad_links < max_detectable_bad_links(params)
+
+
+def vote_probability_bounds(
+    params: ClosParameters,
+    retx_prob_bad: float,
+    retx_prob_good: float,
+    num_bad_links: int,
+) -> Tuple[float, float]:
+    """Lemma 2's bounds ``(vb_lower, vg_upper)`` on vote probabilities."""
+    n0, n1, n2, npod = params.n0, params.n1, params.n2, params.npod
+    k = num_bad_links
+    if npod < 2:
+        raise ValueError("Lemma 2 requires npod >= 2")
+    vb_lower = retx_prob_bad / (n0 * n1 * npod)
+    vg_upper = (
+        1.0
+        / (n1 * n2 * npod)
+        * (n0 * (npod - 1) / (n0 * npod - 1))
+        * ((4 - k / n0) * retx_prob_good + (k / n0) * retx_prob_bad)
+    )
+    return vb_lower, vg_upper
+
+
+def kl_divergence_bernoulli(q: float, r: float) -> float:
+    """Kullback-Leibler divergence between Bernoulli(q) and Bernoulli(r)."""
+    for value in (q, r):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+    if r in (0.0, 1.0) and q != r:
+        return float("inf")
+    terms = 0.0
+    if q > 0.0:
+        terms += q * math.log(q / r)
+    if q < 1.0:
+        terms += (1.0 - q) * math.log((1.0 - q) / (1.0 - r))
+    return terms
+
+
+def error_probability_bound(
+    num_connections: int,
+    vote_prob_good: float,
+    vote_prob_bad: float,
+    delta: Optional[float] = None,
+) -> float:
+    """Equation (9): bound on the probability 007 mis-ranks a bad link.
+
+    ``delta`` defaults to the midpoint value ``(vb - vg) / (vb + vg)`` used in
+    the proof of Lemma 1.  Returns a value capped at 1.
+    """
+    if num_connections < 0:
+        raise ValueError("num_connections must be >= 0")
+    if vote_prob_bad <= vote_prob_good:
+        return 1.0
+    if delta is None:
+        delta = (vote_prob_bad - vote_prob_good) / (vote_prob_bad + vote_prob_good)
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    up = kl_divergence_bernoulli(min(1.0, (1 + delta) * vote_prob_good), vote_prob_good)
+    down = kl_divergence_bernoulli(max(0.0, (1 - delta) * vote_prob_bad), vote_prob_bad)
+    eps = math.exp(-num_connections * up) + math.exp(-num_connections * down)
+    return min(1.0, eps)

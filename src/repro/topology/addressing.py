@@ -1,0 +1,77 @@
+"""IP address plan and router-alias resolution.
+
+The path discovery agent receives ICMP TTL-exceeded responses that carry the
+IP address of the responding interface.  In a datacenter the operator knows
+the topology, so mapping interface IPs back to switch names ("router
+aliasing", Section 4.2) is a simple table lookup.  :class:`AddressPlan`
+assigns a management IP to every node and one interface IP per (switch, link)
+pair, and resolves any of them back to the owning node.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Optional
+
+from repro.topology.elements import Link
+from repro.topology.topology import Topology
+
+
+class AddressPlan:
+    """Deterministic IPv4 address assignment for a topology.
+
+    Hosts and switches get a loopback/management address carved out of
+    ``mgmt_prefix``; every (node, link) interface gets an address carved out
+    of ``iface_prefix``.  The plan exposes both forward lookups (node -> IP)
+    and the reverse alias lookup (any interface IP -> node name).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        mgmt_prefix: str = "10.0.0.0/12",
+        iface_prefix: str = "172.16.0.0/12",
+    ) -> None:
+        self._topology = topology
+        self._mgmt_net = ipaddress.ip_network(mgmt_prefix)
+        self._iface_net = ipaddress.ip_network(iface_prefix)
+        self._node_to_mgmt: Dict[str, str] = {}
+        self._iface_to_node: Dict[str, str] = {}
+        self._node_link_to_iface: Dict[tuple[str, Link], str] = {}
+        self._assign()
+
+    def _assign(self) -> None:
+        mgmt_iter = self._mgmt_net.hosts()
+        iface_iter = self._iface_net.hosts()
+        for name in sorted(self._topology.node_names()):
+            self._node_to_mgmt[name] = str(next(mgmt_iter))
+        for link in self._topology.links:
+            for end in (link.a, link.b):
+                ip = str(next(iface_iter))
+                self._node_link_to_iface[(end, link)] = ip
+                self._iface_to_node[ip] = end
+
+    # ------------------------------------------------------------------
+    def management_ip(self, node: str) -> str:
+        """Management/loopback IP of ``node``."""
+        return self._node_to_mgmt[node]
+
+    def interface_ip(self, node: str, link: Link) -> str:
+        """IP of ``node``'s interface on ``link``."""
+        return self._node_link_to_iface[(node, link)]
+
+    def resolve(self, ip: str) -> Optional[str]:
+        """Resolve an interface or management IP back to a node name.
+
+        Returns ``None`` for addresses outside the plan (e.g. Internet
+        addresses that a stray traceroute would hit).
+        """
+        if ip in self._iface_to_node:
+            return self._iface_to_node[ip]
+        for node, mgmt in self._node_to_mgmt.items():
+            if mgmt == ip:
+                return node
+        return None
+
+    def __len__(self) -> int:
+        return len(self._iface_to_node) + len(self._node_to_mgmt)

@@ -1,0 +1,37 @@
+"""The small test cluster of Section 7 of the paper.
+
+The paper's test cluster has 10 ToR switches and a total of 80 links, with the
+T1 switches carrying real production traffic.  We model it as a single-pod
+Clos fragment: 10 ToRs, a configurable number of T1 switches and a handful of
+controlled hosts per ToR, sized so that the link count matches the paper's 80
+by default (10 ToRs x 4 T1s = 40 level-1 links + 40 host links).
+"""
+
+from __future__ import annotations
+
+from repro.topology.clos import ClosParameters, ClosTopology
+
+
+class TestClusterTopology(ClosTopology):
+    """Single-pod test cluster used for the Section 7 experiments."""
+
+    def __init__(
+        self,
+        num_tors: int = 10,
+        num_t1: int = 4,
+        hosts_per_tor: int = 4,
+        num_t2: int = 1,
+    ) -> None:
+        params = ClosParameters(
+            npod=1,
+            n0=num_tors,
+            n1=num_t1,
+            n2=num_t2,
+            hosts_per_tor=hosts_per_tor,
+        )
+        super().__init__(params)
+
+    @property
+    def controlled_hosts(self) -> list[str]:
+        """Hosts we "control" in the cluster (all simulated hosts)."""
+        return sorted(self.hosts)

@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG handling and small helpers."""
+
+from repro.util.rng import ensure_rng, spawn_rng
+
+__all__ = ["ensure_rng", "spawn_rng"]

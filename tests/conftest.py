@@ -1,0 +1,53 @@
+"""Shared fixtures: small topologies and pre-wired substrates for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.links import LinkStateTable
+from repro.routing.ecmp import EcmpRouter
+from repro.topology.clos import ClosParameters, ClosTopology
+
+
+@pytest.fixture(scope="session")
+def small_params() -> ClosParameters:
+    """A tiny two-pod Clos sizing used across the unit tests."""
+    return ClosParameters(npod=2, n0=3, n1=2, n2=2, hosts_per_tor=2)
+
+
+@pytest.fixture(scope="session")
+def small_topology(small_params) -> ClosTopology:
+    """A tiny two-pod Clos topology (12 hosts, 42 physical links)."""
+    return ClosTopology(small_params)
+
+
+@pytest.fixture()
+def router(small_topology) -> EcmpRouter:
+    """A deterministic ECMP router over the small topology."""
+    return EcmpRouter(small_topology, rng=0)
+
+
+@pytest.fixture()
+def link_table(small_topology) -> LinkStateTable:
+    """A fresh link-state table (noise only) over the small topology."""
+    return LinkStateTable(small_topology, rng=0)
+
+
+@pytest.fixture(scope="session")
+def medium_topology() -> ClosTopology:
+    """A slightly larger fabric for integration-style tests."""
+    return ClosTopology(ClosParameters(npod=2, n0=6, n1=3, n2=3, hosts_per_tor=2))
+
+
+def pair_of_hosts(topology: ClosTopology, cross_pod: bool = True) -> tuple[str, str]:
+    """Return a (src, dst) host pair, cross-pod when requested."""
+    hosts = sorted(topology.hosts)
+    src = hosts[0]
+    src_pod = topology.host(src).pod
+    for dst in hosts[1:]:
+        host = topology.host(dst)
+        if cross_pod and host.pod != src_pod:
+            return src, dst
+        if not cross_pod and host.pod == src_pod and host.tor != topology.host(src).tor:
+            return src, dst
+    raise RuntimeError("no suitable host pair found")

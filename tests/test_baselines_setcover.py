@@ -1,0 +1,64 @@
+"""Unit tests for the greedy MAX COVERAGE / Tomo baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.setcover import greedy_max_coverage
+from repro.routing.routing_matrix import build_routing_matrix
+from repro.topology.elements import DirectedLink
+
+A = DirectedLink("tor1", "t1")
+B = DirectedLink("t1", "tor2")
+C = DirectedLink("tor3", "t2")
+D = DirectedLink("t2", "tor4")
+
+
+class TestGreedyMaxCoverage:
+    def test_single_common_link_explains_all(self):
+        routing = build_routing_matrix([[A, B], [A, C], [A, D]])
+        assert greedy_max_coverage(routing) == [A]
+
+    def test_appendix_b_example(self):
+        # Figure 15: flows 1-2 and 3-2 fail, 1-3 does not; the shared link is blamed.
+        shared = DirectedLink("n2", "n4")
+        flow_12 = [DirectedLink("n1", "n2"), shared]
+        flow_32 = [DirectedLink("n3", "n2"), shared]
+        routing = build_routing_matrix([flow_12, flow_32])
+        assert greedy_max_coverage(routing) == [shared]
+
+    def test_disjoint_failures_need_two_links(self):
+        routing = build_routing_matrix([[A, B], [C, D]])
+        chosen = greedy_max_coverage(routing)
+        assert len(chosen) == 2
+        assert {A, B} & set(chosen)
+        assert {C, D} & set(chosen)
+
+    def test_every_flow_covered(self):
+        rows = [[A, B], [B, C], [C, D], [A, D], [B, D]]
+        routing = build_routing_matrix(rows)
+        chosen = set(greedy_max_coverage(routing))
+        for row in rows:
+            assert chosen & set(row)
+
+    def test_empty_matrix(self):
+        routing = build_routing_matrix([])
+        assert greedy_max_coverage(routing) == []
+
+    def test_restricted_rows(self):
+        routing = build_routing_matrix([[A, B], [C, D]])
+        chosen = greedy_max_coverage(routing, failed_rows=[0])
+        assert len(chosen) == 1
+        assert chosen[0] in {A, B}
+
+    def test_greedy_is_minimal_on_star_instance(self):
+        # One hub link covers everything; greedy must not pick extra links.
+        hub = DirectedLink("hub", "x")
+        rows = [[hub, DirectedLink(f"a{i}", "hub")] for i in range(6)]
+        routing = build_routing_matrix(rows)
+        assert greedy_max_coverage(routing) == [hub]
+
+    def test_deterministic_tie_break(self):
+        routing_a = build_routing_matrix([[A, B]])
+        routing_b = build_routing_matrix([[A, B]])
+        assert greedy_max_coverage(routing_a) == greedy_max_coverage(routing_b)

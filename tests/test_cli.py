@@ -1,0 +1,71 @@
+"""Tests for the repro-007 command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.command == "scenario"
+        assert args.bad_links == 1
+
+    def test_experiment_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_theory_arguments(self):
+        args = build_parser().parse_args(["theory", "--pods", "4", "--tmax", "50"])
+        assert args.pods == 4 and args.tmax == 50
+
+
+class TestCommands:
+    def test_scenario_command_output(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "scenario",
+                "--pods", "2",
+                "--tors-per-pod", "4",
+                "--t1-per-pod", "2",
+                "--t2", "2",
+                "--hosts-per-tor", "2",
+                "--bad-links", "1",
+                "--drop-rate", "0.01",
+                "--connections-per-host", "25",
+                "--seed", "3",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "injected failures" in text
+        assert "top 5 voted links" in text
+        assert "precision" in text
+
+    def test_theory_command_output(self):
+        out = io.StringIO()
+        code = main(["theory", "--pods", "2"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "Theorem 1" in text
+        assert "Theorem 2" in text
+
+    def test_theory_single_pod_message(self):
+        out = io.StringIO()
+        main(["theory", "--pods", "1"], out=out)
+        assert "requires at least two pods" in out.getvalue()
+
+    def test_theory_too_many_bad_links(self):
+        out = io.StringIO()
+        main(["theory", "--pods", "2", "--bad-links", "10000"], out=out)
+        assert "exceeds the detectable bound" in out.getvalue()

@@ -1,0 +1,258 @@
+"""Tests for the 007 extensions: switch voting, latency diagnosis, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import pair_of_hosts
+from repro.core.aggregate import MultiEpochAggregator
+from repro.core.analysis import AnalysisAgent
+from repro.core.blame import BlameConfig
+from repro.core.latency import LatencyDiagnosis, RttObservation
+from repro.core.switches import (
+    build_switch_tally,
+    find_problematic_switches,
+    link_tally_to_switch_votes,
+    switches_of_links,
+)
+from repro.core.votes import VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.netsim.latency import LinkLatencyModel
+from repro.routing.fivetuple import FiveTuple
+from repro.routing.paths import Path
+from repro.topology.elements import DirectedLink
+
+
+def _discovered(flow_id, links):
+    return DiscoveredPath(
+        flow_id=flow_id,
+        five_tuple=FiveTuple("h1", "h2", 1000 + flow_id, 443),
+        src_host="h1",
+        dst_host="h2",
+        links=links,
+        complete=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# switch-level voting
+# ----------------------------------------------------------------------
+class TestSwitchVoting:
+    def _paths_through_switch(self, topology, router, switch_name, count=12):
+        """Fabricate discovered paths whose flows all traverse ``switch_name``."""
+        paths = []
+        hosts = sorted(topology.hosts)
+        flow_id = 0
+        for src in hosts:
+            for dst in hosts:
+                if src == dst or len(paths) >= count:
+                    continue
+                if topology.host(src).tor == topology.host(dst).tor:
+                    continue
+                for port in range(1000, 1020):
+                    flow = FiveTuple(src, dst, port, 443)
+                    path = router.route(flow, src, dst)
+                    if path.contains_node(switch_name):
+                        paths.append(_discovered(flow_id, list(path.links)))
+                        flow_id += 1
+                        break
+        return paths
+
+    def test_switches_of_links_excludes_hosts(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        path = router.route(FiveTuple(src, dst, 1000, 443), src, dst)
+        switches = switches_of_links(small_topology, path.links)
+        assert src not in switches and dst not in switches
+        assert switches == path.switch_hops()
+
+    def test_bad_switch_gets_top_votes(self, small_topology, router):
+        bad_switch = small_topology.tier1s(0)[0].name
+        paths = self._paths_through_switch(small_topology, router, bad_switch)
+        assert paths, "fixture should produce flows through the target switch"
+        tally = build_switch_tally(small_topology, paths)
+        assert tally.items()[0][0] == bad_switch
+
+    def test_find_problematic_switches(self, small_topology, router):
+        bad_switch = small_topology.tier1s(0)[0].name
+        paths = self._paths_through_switch(small_topology, router, bad_switch)
+        tally = build_switch_tally(small_topology, paths)
+        detected = find_problematic_switches(tally, BlameConfig(threshold_fraction=0.2))
+        assert detected and detected[0] == bad_switch
+
+    def test_empty_tally_detects_nothing(self):
+        from repro.core.switches import SwitchVoteTally
+
+        assert find_problematic_switches(SwitchVoteTally()) == []
+
+    def test_link_tally_conversion(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        path = router.route(FiveTuple(src, dst, 1000, 443), src, dst)
+        link_tally = VoteTally()
+        link_tally.add_flow(1, list(path.links))
+        switch_tally = link_tally_to_switch_votes(small_topology, link_tally)
+        assert switch_tally.total_votes() == pytest.approx(1.0)
+
+    def test_empty_switch_list_raises(self):
+        from repro.core.switches import SwitchVoteTally
+
+        with pytest.raises(ValueError):
+            SwitchVoteTally().add_flow(1, [])
+
+
+# ----------------------------------------------------------------------
+# latency diagnosis
+# ----------------------------------------------------------------------
+class TestLinkLatencyModel:
+    def test_rtt_scales_with_hops(self, small_topology, router):
+        model = LinkLatencyModel(small_topology, jitter_sigma=0.0, rng=0)
+        hosts = sorted(small_topology.hosts)
+        tor = small_topology.tors(0)[0]
+        same_rack = [h.name for h in small_topology.hosts_under_tor(tor.name)]
+        short = router.route(FiveTuple(same_rack[0], same_rack[1], 1, 2), same_rack[0], same_rack[1])
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        long = router.route(FiveTuple(src, dst, 1, 2), src, dst)
+        assert model.sample_rtt(long) > model.sample_rtt(short)
+
+    def test_inflation_raises_rtt(self, small_topology, router):
+        model = LinkLatencyModel(small_topology, jitter_sigma=0.0, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        path = router.route(FiveTuple(src, dst, 1, 2), src, dst)
+        before = model.sample_rtt(path)
+        model.inflate_link(path.links[1], 500.0)
+        after = model.sample_rtt(path)
+        assert after == pytest.approx(before + 500.0)
+        model.clear_inflation(path.links[1])
+        assert model.sample_rtt(path) == pytest.approx(before)
+
+    def test_unknown_link_raises(self, small_topology):
+        model = LinkLatencyModel(small_topology)
+        with pytest.raises(KeyError):
+            model.inflate_link(DirectedLink("ghost", "phantom"), 10.0)
+
+    def test_invalid_parameters(self, small_topology):
+        with pytest.raises(ValueError):
+            LinkLatencyModel(small_topology, base_delay_us=0)
+        with pytest.raises(ValueError):
+            LinkLatencyModel(small_topology, jitter_sigma=-1)
+
+    def test_smoothed_rtt_close_to_rtt_without_jitter(self, small_topology, router):
+        model = LinkLatencyModel(small_topology, jitter_sigma=0.0, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        path = router.route(FiveTuple(src, dst, 1, 2), src, dst)
+        assert model.sample_smoothed_rtt(path) == pytest.approx(model.sample_rtt(path))
+
+
+class TestLatencyDiagnosis:
+    def _observations(self, small_topology, router, slow_link, num_flows=40):
+        model = LinkLatencyModel(small_topology, jitter_sigma=0.01, rng=0)
+        model.inflate_link(slow_link, 2000.0)
+        hosts = sorted(small_topology.hosts)
+        observations = []
+        flow_id = 0
+        for src in hosts:
+            for port in range(1000, 1000 + num_flows // len(hosts) + 1):
+                dst = hosts[(hosts.index(src) + 5) % len(hosts)]
+                if dst == src or small_topology.host(dst).tor == small_topology.host(src).tor:
+                    continue
+                flow = FiveTuple(src, dst, port, 443)
+                path = router.route(flow, src, dst)
+                observations.append(
+                    RttObservation.from_path(flow_id, model.sample_smoothed_rtt(path), path)
+                )
+                flow_id += 1
+        return observations
+
+    def test_slow_link_is_top_suspect(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology, cross_pod=False)
+        slow_link = router.route(FiveTuple(src, dst, 1000, 443), src, dst).links[1]
+        observations = self._observations(small_topology, router, slow_link)
+        report = LatencyDiagnosis(baseline_multiplier=1.5).analyze(observations)
+        assert report.slow_flows, "some flows should exceed the derived threshold"
+        # RTT inflation is visible to flows crossing the physical link in either
+        # direction, so the diagnosis localises the cable, not the direction.
+        assert report.ranked_links[0][0].undirected() == slow_link.undirected()
+
+    def test_absolute_threshold(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        path = router.route(FiveTuple(src, dst, 1000, 443), src, dst)
+        observations = [RttObservation.from_path(1, 50_000.0, path)]
+        report = LatencyDiagnosis(threshold_us=10_000.0).analyze(observations)
+        assert report.slow_flows == [1]
+        assert report.threshold_us == 10_000.0
+
+    def test_no_observations(self):
+        report = LatencyDiagnosis().analyze([])
+        assert report.slow_flows == []
+        assert report.suspect_links == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyDiagnosis(threshold_us=-1.0)
+        with pytest.raises(ValueError):
+            LatencyDiagnosis(baseline_multiplier=1.0)
+
+
+# ----------------------------------------------------------------------
+# multi-epoch aggregation
+# ----------------------------------------------------------------------
+class TestMultiEpochAggregator:
+    BAD = DirectedLink("t1-0", "tor0")
+
+    def _report(self, epoch, flows=15):
+        paths = []
+        for i in range(flows):
+            paths.append(
+                _discovered(
+                    epoch * 1000 + i,
+                    [
+                        DirectedLink(f"h{i}", f"tor{i % 3}"),
+                        DirectedLink(f"tor{i % 3}", self.BAD.src),
+                        self.BAD,
+                        DirectedLink(self.BAD.dst, f"hd{i % 2}"),
+                    ],
+                )
+            )
+        return AnalysisAgent().analyze_epoch(epoch, paths)
+
+    def test_recurrent_offender_tracked(self):
+        aggregator = MultiEpochAggregator()
+        aggregator.ingest_many([self._report(0), self._report(1), self._report(2)])
+        assert aggregator.epochs_ingested == 3
+        offenders = aggregator.recurrent_offenders(min_epochs_detected=2)
+        assert offenders and offenders[0].link == self.BAD
+        assert offenders[0].epochs_detected == 3
+        assert offenders[0].last_detected_epoch == 2
+
+    def test_detections_per_epoch_stats(self):
+        aggregator = MultiEpochAggregator()
+        aggregator.ingest_many([self._report(0), self._report(1)])
+        mean, std = aggregator.detections_per_epoch()
+        assert mean >= 1.0
+        assert std >= 0.0
+        max_mean, _ = aggregator.max_votes_per_epoch()
+        assert max_mean > 0
+
+    def test_record_of_unknown_link(self):
+        aggregator = MultiEpochAggregator()
+        assert aggregator.record_of(self.BAD) is None
+
+    def test_level_breakdown_requires_topology(self):
+        aggregator = MultiEpochAggregator()
+        aggregator.ingest(self._report(0))
+        with pytest.raises(ValueError):
+            aggregator.detection_breakdown_by_level()
+
+    def test_level_breakdown_with_topology(self, small_topology, router):
+        # Build reports from real topology paths so the level lookup works.
+        src, dst = pair_of_hosts(small_topology)
+        aggregator = MultiEpochAggregator(topology=small_topology)
+        paths = []
+        for port in range(1000, 1040):
+            flow = FiveTuple(src, dst, port, 443)
+            path = router.route(flow, src, dst)
+            paths.append(_discovered(port, list(path.links)))
+        report = AnalysisAgent().analyze_epoch(0, paths)
+        aggregator.ingest(report)
+        if report.detected_links:
+            breakdown = aggregator.detection_breakdown_by_level()
+            assert sum(breakdown.values()) == pytest.approx(1.0)

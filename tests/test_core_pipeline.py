@@ -1,0 +1,116 @@
+"""Integration-style tests of the end-to-end Zero07System pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blame import BlameConfig
+from repro.core.pipeline import SystemConfig, Zero07System
+from repro.netsim.failures import FailureInjector
+from repro.netsim.links import LinkStateTable
+from repro.netsim.simulator import SimulationConfig
+from repro.netsim.traffic import UniformTraffic
+from repro.topology.elements import LinkLevel
+
+
+def _build_system(topology, link_table=None, rng=0, connections=20, use_slb=True):
+    link_table = link_table or LinkStateTable(topology, rng=rng)
+    traffic = UniformTraffic(topology, connections_per_host=connections, packets_per_flow=100)
+    config = SystemConfig(
+        use_slb=use_slb,
+        simulation=SimulationConfig(simulate_setup_failures=False),
+    )
+    return Zero07System(topology, traffic, link_table, config, rng=rng), link_table
+
+
+class TestPipelineConstruction:
+    def test_components_wired(self, medium_topology):
+        system, _ = _build_system(medium_topology)
+        assert system.topology is medium_topology
+        assert system.slb is not None
+        assert system.path_discovery.config.max_traceroutes_per_host_per_second >= 1
+
+    def test_no_slb_mode(self, medium_topology):
+        system, _ = _build_system(medium_topology, use_slb=False)
+        assert system.slb is None
+        _, report = system.run_epoch(0)
+        assert report is not None
+
+    def test_ct_derived_from_theorem1_when_unset(self, medium_topology):
+        system, _ = _build_system(medium_topology)
+        from repro.theory.theorem1 import traceroute_rate_bound
+
+        expected = max(1.0, traceroute_rate_bound(medium_topology.params, tmax=100))
+        assert system.path_discovery.config.max_traceroutes_per_host_per_second == pytest.approx(expected)
+
+
+class TestHealthyNetwork:
+    def test_no_failures_no_detections(self, medium_topology):
+        link_table = LinkStateTable(medium_topology, noise_high=0.0, rng=0)
+        system, _ = _build_system(medium_topology, link_table=link_table)
+        sim_result, report = system.run_epoch(0)
+        assert sim_result.total_drops == 0
+        assert report.detected_links == []
+        assert report.num_paths_analyzed == 0
+
+
+class TestSingleFailureLocalization:
+    def test_bad_link_is_top_ranked_and_detected(self, medium_topology):
+        link_table = LinkStateTable(medium_topology, rng=1)
+        injector = FailureInjector(medium_topology, link_table, rng=1)
+        scenario = injector.inject_random_failures(
+            1, drop_rate_range=(5e-3, 5e-3), levels=(LinkLevel.LEVEL1,)
+        )
+        bad_link = scenario.bad_links[0]
+        system, _ = _build_system(medium_topology, link_table=link_table, rng=2, connections=30)
+        _, report = system.run_epoch(0)
+        assert report.ranked_links[0][0] == bad_link
+        assert bad_link in report.detected_links
+
+    def test_per_flow_attribution_matches_ground_truth(self, medium_topology):
+        link_table = LinkStateTable(medium_topology, rng=3)
+        injector = FailureInjector(medium_topology, link_table, rng=3)
+        scenario = injector.inject_random_failures(
+            1, drop_rate_range=(1e-2, 1e-2), levels=(LinkLevel.LEVEL1,)
+        )
+        bad_link = scenario.bad_links[0]
+        system, _ = _build_system(medium_topology, link_table=link_table, rng=4, connections=30)
+        sim_result, report = system.run_epoch(0)
+        hit_flows = [
+            f for f in sim_result.flows
+            if f.has_retransmission and f.true_drop_link() == bad_link
+        ]
+        assert hit_flows, "the injected failure should affect some flows"
+        correct = sum(
+            1 for f in hit_flows if report.cause_of_flow(f.flow_id) == bad_link
+        )
+        assert correct / len(hit_flows) >= 0.8
+
+    def test_icmp_budget_respected(self, medium_topology):
+        link_table = LinkStateTable(medium_topology, rng=5)
+        injector = FailureInjector(medium_topology, link_table, rng=5)
+        injector.inject_random_failures(2, drop_rate_range=(1e-2, 1e-2))
+        system, _ = _build_system(medium_topology, link_table=link_table, rng=6, connections=30)
+        system.run_epoch(0)
+        stats = system.icmp_limiter.usage_stats(total_seconds=30)
+        assert stats.max_rate <= system.icmp_limiter.tmax
+
+
+class TestMultiEpochOperation:
+    def test_reports_per_epoch(self, medium_topology):
+        link_table = LinkStateTable(medium_topology, rng=7)
+        injector = FailureInjector(medium_topology, link_table, rng=7)
+        injector.inject_random_failures(1, drop_rate_range=(5e-3, 5e-3))
+        system, _ = _build_system(medium_topology, link_table=link_table, rng=8)
+        runs = system.run(3)
+        assert len(runs) == 3
+        assert [report.epoch for _, report in runs] == [0, 1, 2]
+
+    def test_monitoring_state_cleared_between_epochs(self, medium_topology):
+        link_table = LinkStateTable(medium_topology, rng=9)
+        injector = FailureInjector(medium_topology, link_table, rng=9)
+        injector.inject_random_failures(1, drop_rate_range=(1e-2, 1e-2))
+        system, _ = _build_system(medium_topology, link_table=link_table, rng=10)
+        system.run(2)
+        assert system.monitoring.paths_for_epoch(0) == []
+        assert system.monitoring.paths_for_epoch(1) == []

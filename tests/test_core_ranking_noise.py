@@ -1,0 +1,117 @@
+"""Unit tests for link ranking, per-flow attribution and noise classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.noise import classify_noise_flows
+from repro.core.ranking import (
+    attribute_flow_cause,
+    attribute_flow_causes,
+    rank_links,
+    rank_of_link,
+    vote_gap,
+)
+from repro.core.votes import VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.elements import DirectedLink
+
+BAD = DirectedLink("t1", "tor2")
+GOOD_A = DirectedLink("h1", "tor1")
+GOOD_B = DirectedLink("tor1", "t1")
+GOOD_C = DirectedLink("tor2", "h2")
+
+
+def _discovered(flow_id, links, retransmissions=1):
+    return DiscoveredPath(
+        flow_id=flow_id,
+        five_tuple=FiveTuple("h1", "h2", 1000 + flow_id, 443),
+        src_host="h1",
+        dst_host="h2",
+        links=links,
+        complete=True,
+        retransmissions=retransmissions,
+    )
+
+
+@pytest.fixture()
+def tally():
+    """Three flows sharing only the bad link, one unrelated noise flow."""
+    tally = VoteTally()
+    for flow_id in range(3):
+        tally.add_flow(
+            flow_id,
+            [
+                DirectedLink(f"h{flow_id}", f"tor{flow_id}"),
+                DirectedLink(f"tor{flow_id}", "t1"),
+                BAD,
+                DirectedLink("tor2", f"hd{flow_id}"),
+            ],
+        )
+    tally.add_flow(99, [DirectedLink("h9", "tor9"), DirectedLink("tor9", "h8")])
+    return tally
+
+
+class TestRanking:
+    def test_bad_link_ranked_first(self, tally):
+        ranked = rank_links(tally)
+        assert ranked[0][0] == BAD
+
+    def test_rank_of_link(self, tally):
+        assert rank_of_link(tally, BAD) == 1
+        assert rank_of_link(tally, DirectedLink("no", "votes")) is None
+
+    def test_vote_gap_positive_for_dominant_bad_link(self, tally):
+        assert vote_gap(tally, [BAD]) > 0
+
+    def test_vote_gap_with_no_votes(self):
+        assert vote_gap(VoteTally(), [BAD]) == 0.0
+
+
+class TestAttribution:
+    def test_attribute_single_flow(self, tally):
+        assert attribute_flow_cause(tally, [GOOD_A, BAD, GOOD_C]) == BAD
+
+    def test_attribute_empty_links_is_none(self, tally):
+        assert attribute_flow_cause(tally, []) is None
+
+    def test_attribute_tie_break_deterministic(self):
+        tally = VoteTally()
+        tally.add_flow(1, [GOOD_A, GOOD_B])
+        first = attribute_flow_cause(tally, [GOOD_A, GOOD_B])
+        assert first == min(GOOD_A, GOOD_B)
+
+    def test_attribute_many_flows(self, tally):
+        paths = [_discovered(1, [GOOD_A, BAD]), _discovered(2, [GOOD_B, BAD])]
+        causes = attribute_flow_causes(tally, paths)
+        assert causes == {1: BAD, 2: BAD}
+
+
+class TestNoiseClassification:
+    def test_flow_on_detected_link_is_failure(self):
+        paths = [_discovered(1, [GOOD_A, BAD], retransmissions=1)]
+        result = classify_noise_flows(paths, detected_links=[BAD])
+        assert result.failure_flows == {1}
+        assert result.num_noise == 0
+
+    def test_lone_drop_off_bad_links_is_noise(self):
+        paths = [_discovered(2, [GOOD_A, GOOD_B], retransmissions=1)]
+        result = classify_noise_flows(paths, detected_links=[BAD])
+        assert result.noise_flows == {2}
+
+    def test_many_retransmissions_never_noise(self):
+        paths = [_discovered(3, [GOOD_A, GOOD_B], retransmissions=5)]
+        result = classify_noise_flows(paths, detected_links=[BAD])
+        assert result.failure_flows == {3}
+
+    def test_threshold_configurable(self):
+        paths = [_discovered(4, [GOOD_A], retransmissions=2)]
+        relaxed = classify_noise_flows(paths, [], max_noise_retransmissions=3)
+        strict = classify_noise_flows(paths, [], max_noise_retransmissions=1)
+        assert relaxed.noise_flows == {4}
+        assert strict.failure_flows == {4}
+
+    def test_empty_input(self):
+        result = classify_noise_flows([], [])
+        assert result.num_noise == 0 and result.num_failure == 0

@@ -1,0 +1,129 @@
+"""Unit tests for the path discovery agent (caching, rate caps, SLB queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import pair_of_hosts
+from repro.discovery.agent import PathDiscoveryAgent, PathDiscoveryConfig
+from repro.discovery.icmp import IcmpRateLimiter
+from repro.discovery.traceroute import TracerouteEngine
+from repro.netsim.events import RetransmissionEvent
+from repro.routing.fivetuple import FiveTuple
+from repro.slb.loadbalancer import SoftwareLoadBalancer
+
+
+def _event(flow_id, src, dst, five_tuple, epoch=0, timestamp=0.0, retransmissions=1):
+    return RetransmissionEvent(
+        flow_id=flow_id,
+        epoch=epoch,
+        src_host=src,
+        dst_host=dst,
+        five_tuple=five_tuple,
+        retransmissions=retransmissions,
+        timestamp=timestamp,
+    )
+
+
+@pytest.fixture()
+def agent(small_topology, router, link_table):
+    engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+    return PathDiscoveryAgent(engine, config=PathDiscoveryConfig())
+
+
+class TestDiscovery:
+    def test_discovers_complete_path(self, small_topology, router, agent):
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        flow = FiveTuple(src, dst, 1000, 443)
+        discovered = agent.discover(_event(1, src, dst, flow))
+        assert discovered is not None
+        assert discovered.complete
+        assert discovered.hop_count == router.route(flow, src, dst).hop_count
+        assert agent.stats.traceroutes_sent == 1
+
+    def test_cache_hit_avoids_second_traceroute(self, small_topology, agent):
+        src, dst = pair_of_hosts(small_topology)
+        flow = FiveTuple(src, dst, 1000, 443)
+        first = agent.discover(_event(1, src, dst, flow))
+        second = agent.discover(_event(1, src, dst, flow, retransmissions=2))
+        assert second is first
+        assert agent.stats.traceroutes_sent == 1
+        assert agent.stats.served_from_cache == 1
+        # Cache hits accumulate the retransmission count for the epoch.
+        assert first.retransmissions == 3
+
+    def test_new_epoch_clears_cache(self, small_topology, agent):
+        src, dst = pair_of_hosts(small_topology)
+        flow = FiveTuple(src, dst, 1000, 443)
+        agent.discover(_event(1, src, dst, flow, epoch=0))
+        agent.discover(_event(1, src, dst, flow, epoch=1))
+        assert agent.stats.traceroutes_sent == 2
+
+    def test_distinct_flows_distinct_traces(self, small_topology, agent):
+        src, dst = pair_of_hosts(small_topology)
+        for port in range(1000, 1005):
+            flow = FiveTuple(src, dst, port, 443)
+            assert agent.discover(_event(port, src, dst, flow)) is not None
+        assert agent.stats.traceroutes_sent == 5
+
+
+class TestRateLimits:
+    def test_per_second_budget(self, small_topology, router, link_table):
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(
+            engine,
+            config=PathDiscoveryConfig(max_traceroutes_per_host_per_second=2),
+        )
+        src, dst = pair_of_hosts(small_topology)
+        outcomes = []
+        for port in range(1000, 1005):
+            flow = FiveTuple(src, dst, port, 443)
+            outcomes.append(agent.discover(_event(port, src, dst, flow, timestamp=0.4)))
+        assert sum(1 for o in outcomes if o is not None) == 2
+        assert agent.stats.rate_limited == 3
+
+    def test_budget_renews_next_second(self, small_topology, router, link_table):
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(
+            engine,
+            config=PathDiscoveryConfig(max_traceroutes_per_host_per_second=1),
+        )
+        src, dst = pair_of_hosts(small_topology)
+        a = agent.discover(_event(1, src, dst, FiveTuple(src, dst, 1000, 443), timestamp=0.0))
+        b = agent.discover(_event(2, src, dst, FiveTuple(src, dst, 1001, 443), timestamp=1.0))
+        assert a is not None and b is not None
+
+    def test_per_epoch_budget_config(self):
+        config = PathDiscoveryConfig(max_traceroutes_per_host_per_second=2, epoch_duration_s=30)
+        assert config.per_epoch_budget == 60
+
+
+class TestSlbInteraction:
+    def test_vip_resolved_before_tracing(self, small_topology, router, link_table):
+        slb = SoftwareLoadBalancer(rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        app, data = slb.establish_connection(src, dst, 1000, 443)
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(engine, slb=slb)
+        discovered = agent.discover(_event(1, src, dst, app))
+        assert discovered is not None
+        assert discovered.links == list(router.route(data, src, dst).links)
+
+    def test_failed_slb_query_skips_trace(self, small_topology, router, link_table):
+        slb = SoftwareLoadBalancer(query_failure_rate=1.0, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        app, _ = slb.establish_connection(src, dst, 1000, 443)
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(engine, slb=slb)
+        assert agent.discover(_event(1, src, dst, app)) is None
+        assert agent.stats.slb_failures == 1
+        assert agent.stats.traceroutes_sent == 0
+
+    def test_unknown_flow_mapping_skips_trace(self, small_topology, router, link_table):
+        slb = SoftwareLoadBalancer(rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(engine, slb=slb)
+        never_established = FiveTuple(src, f"vip:{dst}", 1000, 443)
+        assert agent.discover(_event(1, src, dst, never_established)) is None
+        assert agent.stats.slb_failures == 1

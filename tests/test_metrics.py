@@ -1,0 +1,107 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.evaluation import (
+    detection_precision_recall,
+    per_flow_accuracy,
+    top_k_recall,
+)
+from repro.topology.elements import DirectedLink, Link
+
+A = DirectedLink("a", "b")
+B = DirectedLink("c", "d")
+C = DirectedLink("e", "f")
+
+
+class TestDetectionPrecisionRecall:
+    def test_perfect_detection(self):
+        score = detection_precision_recall([A, B], [A, B])
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_false_positive_lowers_precision(self):
+        score = detection_precision_recall([A, B, C], [A, B])
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == 1.0
+        assert score.false_positives == 1
+
+    def test_false_negative_lowers_recall(self):
+        score = detection_precision_recall([A], [A, B])
+        assert score.recall == pytest.approx(0.5)
+        assert score.false_negatives == 1
+
+    def test_empty_detection_with_failures(self):
+        score = detection_precision_recall([], [A])
+        assert score.precision == 0.0 and score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_empty_detection_no_failures(self):
+        score = detection_precision_recall([], [])
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_physical_comparison_collapses_directions(self):
+        detected = [DirectedLink("b", "a")]
+        truth = [DirectedLink("a", "b")]
+        directed = detection_precision_recall(detected, truth)
+        physical = detection_precision_recall(detected, truth, physical=True)
+        assert directed.precision == 0.0
+        assert physical.precision == 1.0
+
+    def test_physical_accepts_link_objects(self):
+        score = detection_precision_recall([Link.of("a", "b")], [A], physical=True)
+        assert score.precision == 1.0
+
+
+class TestPerFlowAccuracy:
+    def test_all_correct(self):
+        predicted = {1: A, 2: B}
+        truth = {1: A, 2: B}
+        assert per_flow_accuracy(predicted, truth) == 1.0
+
+    def test_partial(self):
+        predicted = {1: A, 2: C}
+        truth = {1: A, 2: B}
+        assert per_flow_accuracy(predicted, truth) == 0.5
+
+    def test_missing_prediction_counts_as_wrong(self):
+        assert per_flow_accuracy({}, {1: A}) == 0.0
+
+    def test_none_ground_truth_excluded(self):
+        predicted = {1: A}
+        truth = {1: A, 2: None}
+        assert per_flow_accuracy(predicted, truth) == 1.0
+
+    def test_restrict_to(self):
+        predicted = {1: A, 2: C}
+        truth = {1: A, 2: B}
+        assert per_flow_accuracy(predicted, truth, restrict_to=[1]) == 1.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(per_flow_accuracy({}, {}))
+        assert math.isnan(per_flow_accuracy({1: A}, {1: A}, restrict_to=[99]))
+
+    def test_physical_match(self):
+        predicted = {1: DirectedLink("b", "a")}
+        truth = {1: A}
+        assert per_flow_accuracy(predicted, truth) == 0.0
+        assert per_flow_accuracy(predicted, truth, physical=True) == 1.0
+
+
+class TestTopKRecall:
+    def test_defaults_to_number_of_true_links(self):
+        ranked = [A, B, C]
+        assert top_k_recall(ranked, [A, B]) == 1.0
+        assert top_k_recall(ranked, [A, C]) == 0.5
+
+    def test_explicit_k(self):
+        ranked = [A, B, C]
+        assert top_k_recall(ranked, [C], k=3) == 1.0
+        assert top_k_recall(ranked, [C], k=2) == 0.0
+
+    def test_no_true_links(self):
+        assert top_k_recall([A], []) == 1.0

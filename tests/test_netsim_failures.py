@@ -1,0 +1,158 @@
+"""Unit tests for failure injection and the VM-reboot model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.failures import (
+    FailureInjector,
+    FailureScenario,
+    TransientFailure,
+    TransientFailureSchedule,
+    VmRebootModel,
+)
+from repro.netsim.flows import FlowRecord
+from repro.netsim.links import LinkStateTable
+from repro.netsim.tcp import TransferResult
+from repro.routing.fivetuple import FiveTuple
+from repro.routing.paths import Path
+from repro.topology.elements import DirectedLink, LinkLevel
+
+
+@pytest.fixture()
+def injector(small_topology, link_table):
+    return FailureInjector(small_topology, link_table, rng=0)
+
+
+class TestRandomFailures:
+    def test_requested_count(self, injector, link_table):
+        scenario = injector.inject_random_failures(4)
+        assert scenario.num_failures == 4
+        assert link_table.failed_links == set(scenario.bad_links)
+
+    def test_rates_within_range(self, injector):
+        scenario = injector.inject_random_failures(5, drop_rate_range=(1e-3, 2e-3))
+        assert all(1e-3 <= r <= 2e-3 for r in scenario.drop_rates.values())
+
+    def test_level_restriction(self, small_topology, injector):
+        scenario = injector.inject_random_failures(3, levels=(LinkLevel.LEVEL2,))
+        for link in scenario.bad_links:
+            assert small_topology.link_level(link) == LinkLevel.LEVEL2
+
+    def test_too_many_failures_raise(self, injector):
+        with pytest.raises(ValueError):
+            injector.inject_random_failures(10_000)
+
+    def test_links_are_distinct(self, injector):
+        scenario = injector.inject_random_failures(8)
+        assert len(set(scenario.bad_links)) == 8
+
+    def test_drop_rate_of_unknown_link_is_zero(self, injector):
+        scenario = injector.inject_random_failures(1)
+        assert scenario.drop_rate_of(DirectedLink("x", "y")) == 0.0
+
+
+class TestTargetedFailures:
+    def test_level_failure_upward(self, small_topology, injector):
+        scenario = injector.inject_failure_on_level(LinkLevel.LEVEL1, 0.01, downward=False)
+        link = scenario.bad_links[0]
+        assert small_topology.switch(link.dst).tier.name == "T1"
+
+    def test_level_failure_downward(self, small_topology, injector):
+        scenario = injector.inject_failure_on_level(LinkLevel.LEVEL1, 0.01, downward=True)
+        link = scenario.bad_links[0]
+        assert small_topology.switch(link.src).tier.name == "T1"
+
+    def test_host_level_failure_orientation(self, small_topology, injector):
+        scenario = injector.inject_failure_on_level(LinkLevel.HOST, 0.01, downward=False)
+        link = scenario.bad_links[0]
+        assert small_topology.is_host(link.src)
+
+    def test_skewed_failures_have_dominant_link(self, injector):
+        scenario = injector.inject_skewed_failures(5)
+        rates = sorted(scenario.drop_rates.values(), reverse=True)
+        assert rates[0] >= 0.1
+        assert all(r <= 1e-3 for r in rates[1:])
+
+    def test_switch_failure_covers_all_adjacent_links(self, small_topology, injector, link_table):
+        switch = small_topology.tier1s(0)[0].name
+        scenario = injector.fail_switch(switch)
+        adjacent = small_topology.links_of_node(switch)
+        assert len(scenario.bad_links) == 2 * len(adjacent)
+        assert all(link_table.is_failed(l) for l in scenario.bad_links)
+
+    def test_blackhole_link(self, small_topology, injector, link_table):
+        physical = small_topology.links[0]
+        scenario = injector.blackhole_link(physical)
+        assert link_table.is_down(physical)
+        assert set(scenario.bad_links) == set(physical.directions())
+
+
+class TestTransientFailures:
+    def test_active_window(self):
+        failure = TransientFailure(DirectedLink("a", "b"), 0.1, start_epoch=2, duration_epochs=3)
+        assert not failure.active(1)
+        assert failure.active(2) and failure.active(4)
+        assert not failure.active(5)
+
+    def test_schedule_applies_and_clears(self, small_topology, link_table):
+        schedule = TransientFailureSchedule(link_table)
+        link = small_topology.directed_links()[0]
+        schedule.add(TransientFailure(link, 0.2, start_epoch=1, duration_epochs=1))
+        assert schedule.apply_epoch(0).num_failures == 0
+        assert not link_table.is_failed(link)
+        assert schedule.apply_epoch(1).num_failures == 1
+        assert link_table.is_failed(link)
+        assert schedule.apply_epoch(2).num_failures == 0
+        assert not link_table.is_failed(link)
+
+
+class TestVmRebootModel:
+    def _flow(self, kind: str, retransmissions: int, failed: bool = False) -> FlowRecord:
+        path = Path.from_nodes(["h1", "tor1", "h2"])
+        result = TransferResult(
+            num_packets=10,
+            packets_delivered=0 if failed else 10 - retransmissions,
+            packets_lost=10 if failed else 0,
+            retransmissions=retransmissions,
+            drops_by_link={path.links[0]: retransmissions} if retransmissions else {},
+            connection_failed=failed,
+        )
+        return FlowRecord(
+            flow_id=1,
+            epoch=0,
+            five_tuple=FiveTuple("h1", "h2", 1000, 445),
+            src_host="h1",
+            dst_host="h2",
+            path=path,
+            result=result,
+            kind=kind,
+        )
+
+    def test_data_flows_never_reboot(self):
+        model = VmRebootModel()
+        assert model.reboots_for_epoch([self._flow("data", 10, failed=True)]) == []
+
+    def test_storage_flow_below_threshold_no_reboot(self):
+        model = VmRebootModel(retransmission_threshold=5)
+        assert model.reboots_for_epoch([self._flow("storage", 2)]) == []
+
+    def test_storage_flow_over_threshold_reboots(self):
+        model = VmRebootModel(retransmission_threshold=3)
+        reboots = model.reboots_for_epoch([self._flow("storage", 4)])
+        assert len(reboots) == 1
+        assert reboots[0].host == "h1"
+        assert reboots[0].cause_link is not None
+
+    def test_failed_connection_always_reboots(self):
+        model = VmRebootModel(retransmission_threshold=100)
+        assert len(model.reboots_for_epoch([self._flow("storage", 0, failed=True)])) == 1
+
+    def test_host_reboots_at_most_once_per_epoch(self):
+        model = VmRebootModel(retransmission_threshold=1)
+        flows = [self._flow("storage", 5), self._flow("storage", 6)]
+        assert len(model.reboots_for_epoch(flows)) == 1
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            VmRebootModel(retransmission_threshold=0)

@@ -1,0 +1,145 @@
+"""Unit tests for the flow-level TCP transfer model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.links import LinkStateTable
+from repro.netsim.tcp import probability_of_retransmission, simulate_transfer
+from repro.routing.paths import Path
+from repro.topology.clos import ClosTopology
+from repro.topology.elements import DirectedLink
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    topology = ClosTopology(npod=1, n0=2, n1=2, n2=1, hosts_per_tor=2)
+    table = LinkStateTable(topology, noise_high=0.0, rng=0)
+    hosts = sorted(topology.hosts)
+    src, dst = hosts[0], hosts[2]
+    tor_src = topology.host(src).tor
+    tor_dst = topology.host(dst).tor
+    t1 = topology.tier1s(0)[0].name
+    path = Path.from_nodes([src, tor_src, t1, tor_dst, dst])
+    return topology, table, path
+
+
+class TestLosslessTransfer:
+    def test_all_packets_delivered(self, fabric):
+        _, table, path = fabric
+        result = simulate_transfer(path, 100, table, rng=0)
+        assert result.packets_delivered == 100
+        assert result.retransmissions == 0
+        assert not result.has_retransmission
+        assert not result.connection_failed
+        assert result.dominant_drop_link() is None
+
+    def test_zero_packets(self, fabric):
+        _, table, path = fabric
+        result = simulate_transfer(path, 0, table, rng=0)
+        assert result.packets_delivered == 0
+        assert result.retransmissions == 0
+
+    def test_negative_packets_raise(self, fabric):
+        _, table, path = fabric
+        with pytest.raises(ValueError):
+            simulate_transfer(path, -1, table)
+
+    def test_invalid_rounds_raise(self, fabric):
+        _, table, path = fabric
+        with pytest.raises(ValueError):
+            simulate_transfer(path, 10, table, max_rounds=0)
+
+
+class TestLossyTransfer:
+    def test_blackhole_drops_everything_on_first_link(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[0], 1.0)
+        result = simulate_transfer(path, 50, table, rng=0, max_rounds=2)
+        assert result.packets_delivered == 0
+        assert result.connection_failed
+        assert result.drops_by_link[path.links[0]] == 100  # 2 rounds x 50 packets
+        table.reset_noise(rng=0)
+
+    def test_drops_attributed_to_lossy_link(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        lossy = path.links[1]
+        table.inject_failure(lossy, 0.2)
+        result = simulate_transfer(path, 200, table, rng=1)
+        assert result.has_retransmission
+        assert result.dominant_drop_link() == lossy
+        assert result.drops_by_link[lossy] > 0
+        table.reset_noise(rng=0)
+
+    def test_retransmissions_equal_total_drops(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[1], 0.1)
+        result = simulate_transfer(path, 100, table, rng=2)
+        assert result.retransmissions == result.total_drops
+        table.reset_noise(rng=0)
+
+    def test_delivery_plus_loss_conservation(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[2], 0.5)
+        result = simulate_transfer(path, 100, table, rng=3, max_rounds=3)
+        assert result.packets_delivered + result.packets_lost == 100
+        table.reset_noise(rng=0)
+
+    def test_more_rounds_deliver_more(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[0], 0.5)
+        one_round = simulate_transfer(path, 200, table, rng=4, max_rounds=1)
+        many_rounds = simulate_transfer(path, 200, table, rng=4, max_rounds=5)
+        assert many_rounds.packets_delivered >= one_round.packets_delivered
+        table.reset_noise(rng=0)
+
+    def test_dominant_link_tie_break_is_deterministic(self):
+        topology = ClosTopology(npod=1, n0=2, n1=1, n2=1, hosts_per_tor=1)
+        table = LinkStateTable(topology, noise_high=0.0, rng=0)
+        hosts = sorted(topology.hosts)
+        path = Path.from_nodes(
+            [hosts[0], topology.host(hosts[0]).tor, topology.tier1s(0)[0].name,
+             topology.host(hosts[1]).tor, hosts[1]]
+        )
+        from repro.netsim.tcp import TransferResult
+
+        result = TransferResult(
+            num_packets=2,
+            packets_delivered=0,
+            packets_lost=2,
+            retransmissions=2,
+            drops_by_link={path.links[0]: 1, path.links[1]: 1},
+        )
+        assert result.dominant_drop_link() == min(path.links[0], path.links[1])
+
+
+class TestAnalyticProbability:
+    def test_zero_packets_zero_probability(self, fabric):
+        _, table, path = fabric
+        assert probability_of_retransmission(path, 0, table) == 0.0
+
+    def test_blackhole_gives_one(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[0], 1.0)
+        assert probability_of_retransmission(path, 1, table) == 1.0
+        table.reset_noise(rng=0)
+
+    def test_matches_monte_carlo(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[1], 0.01)
+        analytic = probability_of_retransmission(path, 100, table)
+        rng = np.random.default_rng(0)
+        hits = sum(
+            simulate_transfer(path, 100, table, rng=rng).has_retransmission
+            for _ in range(300)
+        )
+        assert abs(hits / 300 - analytic) < 0.12
+        table.reset_noise(rng=0)

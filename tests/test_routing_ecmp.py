@@ -1,0 +1,139 @@
+"""Unit tests for ECMP routing over the Clos topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import pair_of_hosts
+from repro.routing.ecmp import EcmpRouter, NoRouteError
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.elements import DirectedLink, SwitchTier
+
+
+def _flow(src: str, dst: str, port: int = 1000) -> FiveTuple:
+    return FiveTuple(src, dst, port, 443)
+
+
+class TestRouteStructure:
+    def test_same_tor_path_has_two_links(self, small_topology, router):
+        tor = small_topology.tors(0)[0]
+        hosts = [h.name for h in small_topology.hosts_under_tor(tor.name)]
+        path = router.route(_flow(hosts[0], hosts[1]), hosts[0], hosts[1])
+        assert path.hop_count == 2
+        assert path.nodes() == [hosts[0], tor.name, hosts[1]]
+
+    def test_intra_pod_path_has_four_links(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology, cross_pod=False)
+        path = router.route(_flow(src, dst), src, dst)
+        assert path.hop_count == 4
+        middle = path.nodes()[2]
+        assert small_topology.switch(middle).tier == SwitchTier.T1
+
+    def test_cross_pod_path_has_six_links(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        path = router.route(_flow(src, dst), src, dst)
+        assert path.hop_count == 6
+        t2 = path.nodes()[3]
+        assert small_topology.switch(t2).tier == SwitchTier.T2
+
+    def test_hop_count_matches_expectation(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        path = router.route(_flow(src, dst), src, dst)
+        assert path.hop_count == small_topology.expected_hop_count(src, dst)
+
+    def test_path_uses_existing_links(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        path = router.route(_flow(src, dst), src, dst)
+        for link in path.links:
+            assert small_topology.has_link(link.src, link.dst)
+
+
+class TestEcmpDeterminism:
+    def test_same_five_tuple_same_path(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        flow = _flow(src, dst)
+        assert router.route(flow, src, dst) == router.route(flow, src, dst)
+
+    def test_different_ports_can_differ(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        paths = {
+            router.route(_flow(src, dst, port), src, dst).nodes()[2]
+            for port in range(1000, 1064)
+        }
+        # With 2 tier-1 switches per pod, 64 flows should hit both.
+        assert len(paths) > 1
+
+    def test_reseed_changes_hashing(self, small_topology):
+        router_a = EcmpRouter(small_topology, rng=0)
+        router_b = EcmpRouter(small_topology, rng=1)
+        src, dst = pair_of_hosts(small_topology)
+        differences = 0
+        for port in range(1000, 1032):
+            flow = _flow(src, dst, port)
+            if router_a.route(flow, src, dst) != router_b.route(flow, src, dst):
+                differences += 1
+        assert differences > 0
+
+    def test_reseed_switch(self, small_topology, router):
+        tor = small_topology.host(sorted(small_topology.hosts)[0]).tor
+        before = router.seed_of(tor)
+        router.reseed_switch(tor, rng=99)
+        assert router.seed_of(tor) != before
+
+    def test_ecmp_spreads_across_all_t1s(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        chosen = {
+            router.route(_flow(src, dst, port), src, dst).nodes()[2]
+            for port in range(1000, 1200)
+        }
+        expected = {s.name for s in small_topology.tier1s(small_topology.host(src).pod)}
+        assert chosen == expected
+
+
+class TestRouteErrors:
+    def test_unknown_host_raises(self, router):
+        with pytest.raises(ValueError):
+            router.route(_flow("nope", "alsono"), "nope", "alsono")
+
+    def test_self_route_raises(self, small_topology, router):
+        host = sorted(small_topology.hosts)[0]
+        with pytest.raises(ValueError):
+            router.route(_flow(host, host), host, host)
+
+    def test_no_route_when_all_uplinks_down(self, small_topology):
+        src, dst = pair_of_hosts(small_topology)
+        src_tor = small_topology.host(src).tor
+        t1_names = {s.name for s in small_topology.tier1s(small_topology.host(src).pod)}
+        down = {DirectedLink(src_tor, t1) for t1 in t1_names}
+        router = EcmpRouter(small_topology, rng=0, link_down=lambda l: l in down)
+        with pytest.raises(NoRouteError):
+            router.route(_flow(src, dst), src, dst)
+
+    def test_single_down_uplink_is_avoided(self, small_topology):
+        src, dst = pair_of_hosts(small_topology)
+        src_tor = small_topology.host(src).tor
+        avoided_t1 = small_topology.tier1s(small_topology.host(src).pod)[0].name
+        down = {DirectedLink(src_tor, avoided_t1)}
+        router = EcmpRouter(small_topology, rng=0, link_down=lambda l: l in down)
+        for port in range(1000, 1050):
+            path = router.route(_flow(src, dst, port), src, dst)
+            assert avoided_t1 != path.nodes()[2]
+
+
+class TestReverseAndEnumeration:
+    def test_route_reverse_endpoints(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology)
+        reverse = router.route_reverse(_flow(src, dst), src, dst)
+        assert reverse.src == dst and reverse.dst == src
+
+    def test_all_paths_counts(self, small_topology, router):
+        params = small_topology.params
+        src, dst = pair_of_hosts(small_topology, cross_pod=False)
+        assert len(router.all_paths(src, dst)) == params.n1
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        assert len(router.all_paths(src, dst)) == params.n1 * params.n2 * params.n1
+
+    def test_routed_path_is_among_all_paths(self, small_topology, router):
+        src, dst = pair_of_hosts(small_topology, cross_pod=True)
+        path = router.route(_flow(src, dst), src, dst)
+        assert path in router.all_paths(src, dst)

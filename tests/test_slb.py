@@ -1,0 +1,85 @@
+"""Unit tests for the software load balancer, vSwitch and SNAT models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.fivetuple import FiveTuple
+from repro.slb.loadbalancer import SlbQueryError, SnatTable, SoftwareLoadBalancer
+
+
+class TestVipManagement:
+    def test_vip_for_host_auto_registers(self):
+        slb = SoftwareLoadBalancer()
+        vip = slb.vip_for_host("host-a")
+        assert slb.dips_of(vip) == ["host-a"]
+
+    def test_register_vip_pool(self):
+        slb = SoftwareLoadBalancer()
+        slb.register_vip("vip:storage", ["s1", "s2"])
+        assert slb.dips_of("vip:storage") == ["s1", "s2"]
+
+    def test_register_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            SoftwareLoadBalancer().register_vip("vip:x", [])
+
+
+class TestConnectionEstablishment:
+    def test_app_and_data_tuples(self):
+        slb = SoftwareLoadBalancer()
+        app, data = slb.establish_connection("client", "server", 1000, 443)
+        assert app.dst_ip == "vip:server"
+        assert data.dst_ip == "server"
+        assert app.src_ip == data.src_ip == "client"
+        assert app.src_port == data.src_port == 1000
+
+    def test_query_dip_resolves_mapping(self):
+        slb = SoftwareLoadBalancer()
+        app, data = slb.establish_connection("client", "server", 1000, 443)
+        assert slb.query_dip(app) == "server"
+
+    def test_query_unknown_flow_raises(self):
+        slb = SoftwareLoadBalancer()
+        unknown = FiveTuple("client", "vip:server", 2000, 443)
+        with pytest.raises(SlbQueryError):
+            slb.query_dip(unknown)
+
+    def test_query_failure_rate_one_always_fails(self):
+        slb = SoftwareLoadBalancer(query_failure_rate=1.0, rng=0)
+        app, _ = slb.establish_connection("client", "server", 1000, 443)
+        with pytest.raises(SlbQueryError):
+            slb.query_dip(app)
+        assert slb.query_stats == (1, 1)
+
+    def test_invalid_failure_rate_raises(self):
+        with pytest.raises(ValueError):
+            SoftwareLoadBalancer(query_failure_rate=2.0)
+
+    def test_vswitch_registration_and_eviction(self):
+        slb = SoftwareLoadBalancer()
+        app, _ = slb.establish_connection("client", "server", 1000, 443)
+        vswitch = slb.vswitch("client")
+        assert vswitch.lookup(app.canonical_key()) == "server"
+        slb.terminate_connection(app, "client")
+        assert vswitch.lookup(app.canonical_key()) is None
+        # The SLB itself still knows the mapping (the reason 007 queries it).
+        assert slb.query_dip(app) == "server"
+
+
+class TestSnatTable:
+    def test_translate_and_reverse(self):
+        snat = SnatTable()
+        flow = FiveTuple("vm-1", "internet-host", 1234, 80)
+        translated = snat.translate(flow)
+        assert translated.src_ip == "snat-gateway"
+        assert snat.reverse(translated) == flow
+
+    def test_unknown_reverse_is_none(self):
+        snat = SnatTable()
+        assert snat.reverse(FiveTuple("a", "b", 1, 2)) is None
+
+    def test_ports_differ_across_translations(self):
+        snat = SnatTable()
+        a = snat.translate(FiveTuple("vm-1", "x", 1, 80))
+        b = snat.translate(FiveTuple("vm-2", "x", 1, 80))
+        assert a.src_port != b.src_port

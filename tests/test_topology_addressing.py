@@ -1,0 +1,51 @@
+"""Unit tests for the IP address plan / router-alias resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.addressing import AddressPlan
+from repro.topology.clos import ClosTopology
+
+
+@pytest.fixture(scope="module")
+def plan():
+    topology = ClosTopology(npod=1, n0=2, n1=2, n2=1, hosts_per_tor=1)
+    return topology, AddressPlan(topology)
+
+
+class TestAddressPlan:
+    def test_every_node_has_management_ip(self, plan):
+        topology, address_plan = plan
+        for name in topology.node_names():
+            ip = address_plan.management_ip(name)
+            assert ip.count(".") == 3
+
+    def test_interface_ips_are_unique(self, plan):
+        topology, address_plan = plan
+        ips = set()
+        for link in topology.links:
+            for end in (link.a, link.b):
+                ip = address_plan.interface_ip(end, link)
+                assert ip not in ips
+                ips.add(ip)
+
+    def test_resolve_interface_ip(self, plan):
+        topology, address_plan = plan
+        link = topology.links[0]
+        ip = address_plan.interface_ip(link.a, link)
+        assert address_plan.resolve(ip) == link.a
+
+    def test_resolve_management_ip(self, plan):
+        topology, address_plan = plan
+        node = sorted(topology.hosts)[0]
+        assert address_plan.resolve(address_plan.management_ip(node)) == node
+
+    def test_resolve_unknown_ip_returns_none(self, plan):
+        _, address_plan = plan
+        assert address_plan.resolve("8.8.8.8") is None
+
+    def test_len_counts_all_addresses(self, plan):
+        topology, address_plan = plan
+        expected = 2 * len(topology.links) + len(list(topology.node_names()))
+        assert len(address_plan) == expected

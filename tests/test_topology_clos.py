@@ -1,0 +1,123 @@
+"""Unit tests for the Clos topology builder and the test cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.clos import ClosParameters, ClosTopology
+from repro.topology.elements import Link, LinkLevel, SwitchTier
+from repro.topology.testcluster import TestClusterTopology as Section7ClusterTopology
+
+
+class TestClosParameters:
+    def test_link_counts(self):
+        params = ClosParameters(npod=2, n0=3, n1=2, n2=2, hosts_per_tor=2)
+        assert params.num_hosts == 12
+        assert params.num_host_links == 12
+        assert params.num_level1_links == 2 * 3 * 2
+        assert params.num_level2_links == 2 * 2 * 2
+        assert params.num_links == 12 + 12 + 8
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ClosParameters(npod=0)
+        with pytest.raises(ValueError):
+            ClosParameters(n0=0)
+        with pytest.raises(ValueError):
+            ClosParameters(hosts_per_tor=0)
+        with pytest.raises(ValueError):
+            ClosParameters(n3=-1)
+
+
+class TestClosTopology:
+    def test_node_counts(self, small_topology, small_params):
+        assert len(small_topology.hosts) == small_params.num_hosts
+        num_switches = (
+            small_params.npod * (small_params.n0 + small_params.n1) + small_params.n2
+        )
+        assert len(small_topology.switches) == num_switches
+
+    def test_link_counts_match_parameters(self, small_topology, small_params):
+        assert len(small_topology.links) == small_params.num_links
+        assert small_topology.num_links(directed=True) == 2 * small_params.num_links
+
+    def test_level_partition(self, small_topology, small_params):
+        assert len(small_topology.links_of_level(LinkLevel.HOST)) == small_params.num_host_links
+        assert len(small_topology.links_of_level(LinkLevel.LEVEL1)) == small_params.num_level1_links
+        assert len(small_topology.links_of_level(LinkLevel.LEVEL2)) == small_params.num_level2_links
+
+    def test_tor_t1_complete_bipartite_within_pod(self, small_topology):
+        for pod in range(small_topology.params.npod):
+            for tor in small_topology.tors(pod):
+                for t1 in small_topology.tier1s(pod):
+                    assert small_topology.has_link(tor.name, t1.name)
+
+    def test_no_links_across_pods_at_level1(self, small_topology):
+        for tor in small_topology.tors(0):
+            for t1 in small_topology.tier1s(1):
+                assert not small_topology.has_link(tor.name, t1.name)
+
+    def test_t1_t2_complete_bipartite(self, small_topology):
+        for pod in range(small_topology.params.npod):
+            for t1 in small_topology.tier1s(pod):
+                for t2 in small_topology.tier2s():
+                    assert small_topology.has_link(t1.name, t2.name)
+
+    def test_hosts_under_tor(self, small_topology):
+        tor = small_topology.tors(0)[0]
+        hosts = small_topology.hosts_under_tor(tor.name)
+        assert len(hosts) == small_topology.params.hosts_per_tor
+        assert all(h.tor == tor.name for h in hosts)
+
+    def test_tor_of_host(self, small_topology):
+        host = sorted(small_topology.hosts)[0]
+        tor = small_topology.tor_of_host(host)
+        assert tor.tier == SwitchTier.TOR
+        assert small_topology.has_link(host, tor.name)
+
+    def test_expected_hop_count(self, small_topology):
+        hosts = sorted(small_topology.hosts)
+        same_tor = [h for h in hosts if small_topology.host(h).tor == small_topology.host(hosts[0]).tor]
+        assert small_topology.expected_hop_count(same_tor[0], same_tor[1]) == 2
+        cross_pod = [h for h in hosts if small_topology.host(h).pod != small_topology.host(hosts[0]).pod]
+        assert small_topology.expected_hop_count(hosts[0], cross_pod[0]) == 6
+
+    def test_keyword_construction(self):
+        topo = ClosTopology(npod=1, n0=2, n1=2, n2=1, hosts_per_tor=1)
+        assert topo.params.npod == 1
+        with pytest.raises(TypeError):
+            ClosTopology(ClosParameters(), npod=2)
+
+    def test_link_level_lookup(self, small_topology):
+        host = sorted(small_topology.hosts)[0]
+        tor = small_topology.host(host).tor
+        assert small_topology.link_level(Link.of(host, tor)) == LinkLevel.HOST
+
+    def test_to_networkx(self, small_topology):
+        graph = small_topology.to_networkx()
+        assert graph.number_of_nodes() == len(small_topology.hosts) + len(small_topology.switches)
+        assert graph.number_of_edges() == len(small_topology.links)
+
+    def test_optional_tier3(self):
+        topo = ClosTopology(npod=1, n0=2, n1=2, n2=2, hosts_per_tor=1, n3=2)
+        assert len(topo.tier3s()) == 2
+        assert len(topo.links_of_level(LinkLevel.LEVEL3)) == 4
+
+    def test_validate_passes(self, small_topology):
+        small_topology.validate()
+
+    def test_describe_mentions_counts(self, small_topology):
+        text = small_topology.describe()
+        assert str(len(small_topology.hosts)) in text
+
+
+class TestSection7Cluster:
+    def test_defaults_match_section7(self):
+        cluster = Section7ClusterTopology()
+        assert cluster.params.npod == 1
+        assert len(cluster.tors()) == 10
+        assert len(cluster.controlled_hosts) == 40
+
+    def test_is_single_pod(self):
+        cluster = Section7ClusterTopology(num_tors=4, num_t1=2, hosts_per_tor=2)
+        assert all(s.pod == 0 for s in cluster.tors())

@@ -1,0 +1,92 @@
+"""Unit tests for topology primitives (links, switches, hosts, LAGs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.elements import (
+    DirectedLink,
+    Host,
+    Link,
+    LinkAggregationGroup,
+    LinkLevel,
+    NodeKind,
+    Switch,
+    SwitchTier,
+)
+
+
+class TestDirectedLink:
+    def test_reversed(self):
+        link = DirectedLink("a", "b")
+        assert link.reversed() == DirectedLink("b", "a")
+        assert link.reversed().reversed() == link
+
+    def test_undirected_is_canonical(self):
+        assert DirectedLink("b", "a").undirected() == Link("a", "b")
+        assert DirectedLink("a", "b").undirected() == Link("a", "b")
+
+    def test_ordering_is_total(self):
+        links = [DirectedLink("b", "a"), DirectedLink("a", "b"), DirectedLink("a", "a")]
+        assert sorted(links) == sorted(links, key=lambda l: (l.src, l.dst))
+
+    def test_str(self):
+        assert str(DirectedLink("x", "y")) == "x->y"
+
+
+class TestLink:
+    def test_of_sorts_endpoints(self):
+        assert Link.of("z", "a") == Link("a", "z")
+
+    def test_directions(self):
+        forward, backward = Link("a", "b").directions()
+        assert forward == DirectedLink("a", "b")
+        assert backward == DirectedLink("b", "a")
+
+    def test_hashable_and_equal(self):
+        assert len({Link.of("a", "b"), Link.of("b", "a")}) == 1
+
+
+class TestSwitchAndHost:
+    def test_switch_kind(self):
+        switch = Switch(name="t2-0", tier=SwitchTier.T2, index=0)
+        assert switch.kind == NodeKind.SWITCH
+        assert switch.pod is None
+
+    def test_host_kind(self):
+        host = Host(name="h", tor="tor0", pod=0, index=1)
+        assert host.kind == NodeKind.HOST
+
+    def test_switch_tier_ordering(self):
+        assert SwitchTier.TOR < SwitchTier.T1 < SwitchTier.T2 < SwitchTier.T3
+
+    def test_link_level_values(self):
+        assert LinkLevel.HOST == 0
+        assert LinkLevel.LEVEL1 == 1
+        assert LinkLevel.LEVEL2 == 2
+
+
+class TestLinkAggregationGroup:
+    def test_not_down_until_all_members_fail(self):
+        lag = LinkAggregationGroup(link=Link.of("a", "b"), members=["m1", "m2"])
+        assert not lag.is_down
+        lag.fail_member("m1")
+        assert not lag.is_down
+        lag.fail_member("m2")
+        assert lag.is_down
+
+    def test_restore_member(self):
+        lag = LinkAggregationGroup(link=Link.of("a", "b"), members=["m1"])
+        lag.fail_member("m1")
+        assert lag.is_down
+        lag.restore_member("m1")
+        assert not lag.is_down
+
+    def test_unknown_member_raises(self):
+        lag = LinkAggregationGroup(link=Link.of("a", "b"), members=["m1"])
+        with pytest.raises(ValueError):
+            lag.fail_member("m99")
+
+    def test_empty_lag_is_never_down(self):
+        lag = LinkAggregationGroup(link=Link.of("a", "b"))
+        assert not lag.is_down

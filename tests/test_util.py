@@ -1,0 +1,92 @@
+"""Unit tests for repro.util (RNG plumbing and statistics helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.stats import empirical_cdf, mean_confidence_interval, percentile
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=5)
+        b = ensure_rng(42).integers(0, 1_000_000, size=5)
+        assert list(a) == list(b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRng:
+    def test_deterministic_for_seed(self):
+        a = spawn_rng(7, 1).integers(0, 1_000_000, size=3)
+        b = spawn_rng(7, 1).integers(0, 1_000_000, size=3)
+        assert list(a) == list(b)
+
+    def test_different_indices_differ(self):
+        a = spawn_rng(7, 1).integers(0, 1_000_000, size=8)
+        b = spawn_rng(7, 2).integers(0, 1_000_000, size=8)
+        assert list(a) != list(b)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        child = spawn_rng(gen, 0)
+        assert isinstance(child, np.random.Generator)
+
+
+class TestEmpiricalCdf:
+    def test_empty(self):
+        x, f = empirical_cdf([])
+        assert x.size == 0 and f.size == 0
+
+    def test_sorted_and_normalised(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert f[-1] == pytest.approx(1.0)
+        assert f[0] == pytest.approx(1 / 3)
+
+    def test_monotone(self):
+        _, f = empirical_cdf(np.random.default_rng(0).normal(size=50))
+        assert all(b >= a for a, b in zip(f, f[1:]))
+
+
+class TestMeanConfidenceInterval:
+    def test_empty_is_nan(self):
+        mean, half = mean_confidence_interval([])
+        assert np.isnan(mean) and np.isnan(half)
+
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(size=10))[1]
+        large = mean_confidence_interval(rng.normal(size=1000))[1]
+        assert large < small
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert np.isnan(percentile([], 50))
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0.0
+        assert percentile(data, 100) == 100.0
