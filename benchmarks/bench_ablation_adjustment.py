@@ -1,6 +1,6 @@
 """Ablation benchmark: Algorithm 1 vote re-adjustment step on/off."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.ablations import run_adjustment_ablation
 

@@ -1,6 +1,6 @@
 """Ablation benchmark: Algorithm 1 detection-threshold sweep."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.ablations import run_threshold_ablation
 

@@ -1,6 +1,6 @@
 """Ablation benchmark: 1/h votes vs unit votes."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.ablations import run_vote_policy_ablation
 

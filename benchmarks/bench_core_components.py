@@ -16,7 +16,7 @@ from repro.core.votes import VoteTally
 from repro.discovery.icmp import IcmpRateLimiter
 from repro.discovery.traceroute import TracerouteEngine
 from repro.netsim.links import LinkStateTable
-from repro.netsim.tcp import simulate_transfer
+from repro.netsim.tcp import simulate_transfer, simulate_transfers_batch
 from repro.routing.ecmp import EcmpRouter
 from repro.routing.fivetuple import FiveTuple
 from repro.topology.clos import ClosParameters, ClosTopology
@@ -40,8 +40,9 @@ def _flow(i: int, hosts) -> tuple[FiveTuple, str, str]:
 
 
 def test_bench_ecmp_routing(benchmark, fabric):
-    """Route 1000 flows through the fabric."""
-    topology, router, _, hosts = fabric
+    """Route 1000 flows through the fabric, no path cache (the seed baseline)."""
+    topology, _, _, hosts = fabric
+    router = EcmpRouter(topology, rng=0, cache_paths=False)
 
     def route_many():
         for i in range(1000):
@@ -51,8 +52,28 @@ def test_bench_ecmp_routing(benchmark, fabric):
     benchmark(route_many)
 
 
+def test_bench_ecmp_routing_cached(benchmark, fabric):
+    """Route the same 1000 flows with the per-epoch path cache warm.
+
+    Compare against ``test_bench_ecmp_routing``: this is the steady-state cost
+    the epoch simulator pays when data packets, traceroutes and later epochs
+    re-route the same five-tuples.
+    """
+    topology, router, _, hosts = fabric
+    for i in range(1000):  # warm the cache
+        flow, src, dst = _flow(i, hosts)
+        router.route(flow, src, dst)
+
+    def route_many_cached():
+        for i in range(1000):
+            flow, src, dst = _flow(i, hosts)
+            router.route(flow, src, dst)
+
+    benchmark(route_many_cached)
+
+
 def test_bench_flow_transfer(benchmark, fabric):
-    """Simulate the TCP transfer of 500 flows of 100 packets."""
+    """Simulate the TCP transfer of 500 flows of 100 packets, one at a time."""
     topology, router, link_table, hosts = fabric
     paths = []
     for i in range(500):
@@ -64,6 +85,21 @@ def test_bench_flow_transfer(benchmark, fabric):
             simulate_transfer(path, 100, link_table, rng=i)
 
     benchmark(transfer_many)
+
+
+def test_bench_flow_transfer_batched(benchmark, fabric):
+    """The same 500 transfers as one vectorized batch.
+
+    Compare against ``test_bench_flow_transfer``: this is the path the epoch
+    simulator takes since the batched engine landed.
+    """
+    topology, router, link_table, hosts = fabric
+    paths = []
+    for i in range(500):
+        flow, src, dst = _flow(i, hosts)
+        paths.append(router.route(flow, src, dst))
+
+    benchmark(simulate_transfers_batch, paths, 100, link_table, rng=0)
 
 
 def test_bench_vote_tally_and_blame(benchmark, fabric):

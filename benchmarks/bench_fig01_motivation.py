@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 1 (motivation CDFs)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig01_motivation import run_fig01
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 3 (accuracy vs #failed links, Theorem 2 regime)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig03_accuracy_optimal import run_fig03
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 4 (Algorithm 1 precision/recall, Theorem 2 regime)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig04_detection_optimal import run_fig04
 

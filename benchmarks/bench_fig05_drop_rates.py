@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 5 (accuracy vs failed-link drop rates)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig05_drop_rates import run_fig05
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 6 (impact of noise on accuracy)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig06_noise import run_fig06
 

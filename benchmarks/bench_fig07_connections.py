@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 7 (random per-host connection counts)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig07_connections import run_fig07
 

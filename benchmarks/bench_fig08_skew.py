@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 8 (skewed traffic)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig08_skew import run_fig08
 

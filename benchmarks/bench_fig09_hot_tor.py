@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 9 (hot ToR skew sweep)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig09_hot_tor import run_fig09
 

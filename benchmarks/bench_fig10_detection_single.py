@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 10 (Algorithm 1 vs drop rate, single failure)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig10_detection_single import run_fig10
 

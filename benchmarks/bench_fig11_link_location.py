@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 11 (impact of failed-link location)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig11_link_location import run_fig11
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 12 (heavily skewed drop rates across failures)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig12_skewed_drop_rates import run_fig12
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 13 (test-cluster vote gap distribution)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.fig13_testcluster_votes import run_fig13
 

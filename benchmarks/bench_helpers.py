@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark targets.
+
+Every benchmark regenerates one table or figure of the paper at a scaled-down
+configuration (documented in EXPERIMENTS.md), measures how long the
+regeneration takes via pytest-benchmark, and prints the regenerated rows so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction report.
+
+This module is deliberately *not* named ``conftest``: helper imports from a
+conftest resolve against whichever conftest pytest loaded first (rootdir
+dependent), which once made ``tests/`` modules import the benchmarks conftest.
+A unique module name can never shadow or be shadowed.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+    print()
+    print(result.format_table())
+    return result

@@ -1,6 +1,6 @@
 """Benchmark: regenerate the Section 6.7 network-size study."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.sec67_network_size import run_sec67
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate the Section 7.2 two-link test-cluster experiment."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.sec72_two_links import run_sec72
 

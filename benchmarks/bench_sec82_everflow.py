@@ -1,6 +1,6 @@
 """Benchmark: regenerate the Section 8.2 Everflow cross-validation."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.sec82_everflow_validation import run_sec82
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate the Section 8.3 / Figure 14 VM-reboot diagnosis."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.sec83_vm_reboots import run_sec83
 

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 1 (ICMP responses per second per switch)."""
 
-from conftest import run_experiment
+from bench_helpers import run_experiment
 
 from repro.experiments.table1_icmp import run_table1
 

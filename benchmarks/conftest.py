@@ -1,25 +1,1 @@
-"""Shared helpers for the benchmark targets.
-
-Every benchmark regenerates one table or figure of the paper at a scaled-down
-configuration (documented in EXPERIMENTS.md), measures how long the
-regeneration takes via pytest-benchmark, and prints the regenerated rows so
-``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction report.
-"""
-
-from __future__ import annotations
-
-import pytest
-
-
-def run_experiment(benchmark, fn, *args, **kwargs):
-    """Run ``fn(*args, **kwargs)`` once under pytest-benchmark and print its table."""
-    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
-    print()
-    print(result.format_table())
-    return result
-
-
-@pytest.fixture
-def report(capsys):
-    """Fixture that disables output capture teardown issues for table printing."""
-    yield
+"""Benchmark-directory conftest (shared helpers live in ``bench_helpers``)."""

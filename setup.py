@@ -1,4 +1,8 @@
-"""Setup shim for legacy (non-PEP-660) editable installs on offline hosts."""
+"""Setup shim for legacy (non-PEP-660) editable installs on offline hosts.
+
+All real metadata lives in ``pyproject.toml``; setuptools >= 61 reads it from
+there, so ``pip install -e .`` installs the ``repro`` package either way.
+"""
 from setuptools import setup
 
 setup()

@@ -15,10 +15,12 @@ Installed as the ``repro-007`` console script; also runnable via
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.theory.theorem1 import traceroute_rate_bound
 from repro.theory.theorem2 import (
@@ -95,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure")
     experiment.add_argument("name", choices=sorted(_experiment_registry()))
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (1 = serial; results are "
+        "byte-identical at any worker count)",
+    )
+    experiment.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the experiment's default trials per sweep point",
+    )
 
     theory = subparsers.add_parser("theory", help="evaluate Theorems 1 and 2")
     theory.add_argument("--pods", type=int, default=2)
@@ -143,8 +158,31 @@ def _run_scenario_command(args: argparse.Namespace, out) -> int:
 
 
 def _run_experiment_command(args: argparse.Namespace, out) -> int:
-    runner = _experiment_registry()[args.name]
-    result = runner()
+    experiment_fn = _experiment_registry()[args.name]
+    # Sweep-based experiments accept a SweepRunner and a trial count; the
+    # cluster/production regenerations (fig01, table1, fig13, sec72/82/83)
+    # don't — forward only the keywords each experiment understands.
+    parameters = inspect.signature(experiment_fn).parameters
+    kwargs: Dict[str, object] = {}
+    if args.workers and args.workers > 1:
+        if "runner" in parameters:
+            kwargs["runner"] = SweepRunner(workers=args.workers)
+        else:
+            print(
+                f"warning: experiment {args.name!r} does not run sweeps; "
+                "--workers ignored",
+                file=sys.stderr,
+            )
+    if args.trials is not None:
+        if "trials" in parameters:
+            kwargs["trials"] = args.trials
+        else:
+            print(
+                f"warning: experiment {args.name!r} has no trial count; "
+                "--trials ignored",
+                file=sys.stderr,
+            )
+    result = experiment_fn(**kwargs)
     print(result.format_table(), file=out)
     return 0
 

@@ -8,33 +8,43 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.blame import BlameConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import average_over_trials, detection_metrics, accuracy_metrics
+from repro.experiments.sweeps import accuracy_metrics, detection_metrics
 
 
 def run_vote_policy_ablation(
-    trials: int = 3, seed: int = 0, num_bad_links: int = 6
+    trials: int = 3,
+    seed: int = 0,
+    num_bad_links: int = 6,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """1/h votes vs unit votes."""
-    result = ExperimentResult(
-        name="Ablation: vote value", description="1/h votes vs unit votes"
-    )
-    metrics = {**accuracy_metrics(False), **detection_metrics(False)}
-    for policy in ("inverse_hops", "unit"):
-        config = ScenarioConfig(
-            num_bad_links=num_bad_links,
-            drop_rate_range=(5e-4, 1e-2),
-            vote_policy=policy,
-            seed=seed,
+    points = [
+        (
+            {"vote_policy": policy},
+            ScenarioConfig(
+                num_bad_links=num_bad_links,
+                drop_rate_range=(5e-4, 1e-2),
+                vote_policy=policy,
+                seed=seed,
+            ),
         )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"vote_policy": policy}, averaged)
-    return result
+        for policy in ("inverse_hops", "unit")
+    ]
+    return run_point_sweep(
+        name="Ablation: vote value",
+        description="1/h votes vs unit votes",
+        points=points,
+        metric_fns={**accuracy_metrics(False), **detection_metrics(False)},
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )
 
 
 def run_threshold_ablation(
@@ -42,53 +52,71 @@ def run_threshold_ablation(
     trials: int = 3,
     seed: int = 0,
     num_bad_links: int = 6,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Sweep Algorithm 1's detection threshold (the paper's parameter sweep)."""
-    result = ExperimentResult(
+    points = [
+        (
+            {"threshold_fraction": threshold},
+            ScenarioConfig(
+                num_bad_links=num_bad_links,
+                drop_rate_range=(5e-4, 1e-2),
+                blame=BlameConfig(threshold_fraction=threshold),
+                seed=seed,
+            ),
+        )
+        for threshold in thresholds
+    ]
+    return run_point_sweep(
         name="Ablation: detection threshold",
         description="Algorithm 1 threshold (fraction of total votes)",
+        points=points,
+        metric_fns=detection_metrics(False),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = detection_metrics(False)
-    for threshold in thresholds:
-        config = ScenarioConfig(
-            num_bad_links=num_bad_links,
-            drop_rate_range=(5e-4, 1e-2),
-            blame=BlameConfig(threshold_fraction=threshold),
-            seed=seed,
-        )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"threshold_fraction": threshold}, averaged)
-    return result
 
 
 def run_adjustment_ablation(
-    trials: int = 3, seed: int = 0, num_bad_links: int = 6
+    trials: int = 3,
+    seed: int = 0,
+    num_bad_links: int = 6,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Algorithm 1 with and without the vote re-adjustment step."""
-    result = ExperimentResult(
+    points = [
+        (
+            {"adjustment": adjustment},
+            ScenarioConfig(
+                num_bad_links=num_bad_links,
+                drop_rate_range=(5e-4, 1e-2),
+                blame=BlameConfig(adjustment=adjustment),
+                seed=seed,
+            ),
+        )
+        for adjustment in ("paths", "none")
+    ]
+    return run_point_sweep(
         name="Ablation: vote adjustment",
         description="Algorithm 1 adjustment step on/off",
+        points=points,
+        metric_fns=detection_metrics(False),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = detection_metrics(False)
-    for adjustment in ("paths", "none"):
-        config = ScenarioConfig(
-            num_bad_links=num_bad_links,
-            drop_rate_range=(5e-4, 1e-2),
-            blame=BlameConfig(adjustment=adjustment),
-            seed=seed,
-        )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"adjustment": adjustment}, averaged)
-    return result
 
 
-def run_all_ablations(trials: int = 2, seed: int = 0) -> ExperimentResult:
+def run_all_ablations(
+    trials: int = 2, seed: int = 0, runner: Optional[SweepRunner] = None
+) -> ExperimentResult:
     """All three ablations merged into a single table."""
     merged = ExperimentResult(name="Ablations", description="design-choice ablations")
     for sub in (
-        run_vote_policy_ablation(trials=trials, seed=seed),
-        run_threshold_ablation(trials=trials, seed=seed),
-        run_adjustment_ablation(trials=trials, seed=seed),
+        run_vote_policy_ablation(trials=trials, seed=seed, runner=runner),
+        run_threshold_ablation(trials=trials, seed=seed, runner=runner),
+        run_adjustment_ablation(trials=trials, seed=seed, runner=runner),
     ):
         for point in sub.points:
             merged.add_point({"study": sub.name, **point.parameters}, point.metrics)

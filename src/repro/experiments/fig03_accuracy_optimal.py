@@ -8,11 +8,12 @@ accuracy and generally beating the integer optimization.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+from repro.experiments.sweeps import accuracy_metrics
 
 DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
 
@@ -22,19 +23,23 @@ def run_fig03(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 3 (accuracy vs number of failed links)."""
     base = ScenarioConfig(
         drop_rate_range=(5e-4, 1e-2),
         seed=seed,
     )
-    result = ExperimentResult(
+    points = [
+        ({"num_failed_links": count}, replace(base, num_bad_links=count))
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
         name="Figure 3",
         description="per-connection accuracy vs #failed links (Theorem 2 holds)",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for count in failed_link_counts:
-        config = replace(base, num_bad_links=count)
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"num_failed_links": count}, averaged)
-    return result

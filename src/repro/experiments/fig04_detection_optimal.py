@@ -4,11 +4,12 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import average_over_trials, detection_metrics
+from repro.experiments.sweeps import detection_metrics
 
 DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
 
@@ -18,19 +19,23 @@ def run_fig04(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 4 (detection precision/recall vs number of failed links)."""
     base = ScenarioConfig(
         drop_rate_range=(5e-4, 1e-2),
         seed=seed,
     )
-    result = ExperimentResult(
+    points = [
+        ({"num_failed_links": count}, replace(base, num_bad_links=count))
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
         name="Figure 4",
         description="Algorithm 1 precision/recall vs #failed links (Theorem 2 holds)",
+        points=points,
+        metric_fns=detection_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = detection_metrics(include_baselines=include_baselines)
-    for count in failed_link_counts:
-        config = replace(base, num_bad_links=count)
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"num_failed_links": count}, averaged)
-    return result

@@ -7,12 +7,12 @@ different drop rates (the paper's default (0.01%, 1%) range).
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+from repro.experiments.sweeps import accuracy_metrics
 
 DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
 DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
@@ -23,21 +23,25 @@ def run_fig05_single(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Panel (a): accuracy vs drop rate of a single failed link."""
-    result = ExperimentResult(
-        name="Figure 5a", description="accuracy vs drop rate, single failure"
-    )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for rate in drop_rates:
-        config = ScenarioConfig(
-            num_bad_links=1,
-            drop_rate_range=(rate, rate),
-            seed=seed,
+    points = [
+        (
+            {"drop_rate": rate},
+            ScenarioConfig(num_bad_links=1, drop_rate_range=(rate, rate), seed=seed),
         )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"drop_rate": rate}, averaged)
-    return result
+        for rate in drop_rates
+    ]
+    return run_point_sweep(
+        name="Figure 5a",
+        description="accuracy vs drop rate, single failure",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )
 
 
 def run_fig05_multiple(
@@ -45,29 +49,42 @@ def run_fig05_multiple(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Panel (b): accuracy vs number of failures with widely varying drop rates."""
-    result = ExperimentResult(
-        name="Figure 5b", description="accuracy vs #failures, mixed drop rates"
-    )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for count in failed_link_counts:
-        config = ScenarioConfig(
-            num_bad_links=count,
-            drop_rate_range=(1e-4, 1e-2),
-            seed=seed,
+    points = [
+        (
+            {"num_failed_links": count},
+            ScenarioConfig(num_bad_links=count, drop_rate_range=(1e-4, 1e-2), seed=seed),
         )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"num_failed_links": count}, averaged)
-    return result
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
+        name="Figure 5b",
+        description="accuracy vs #failures, mixed drop rates",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )
 
 
-def run_fig05(trials: int = 3, seed: int = 0, include_baselines: bool = True) -> ExperimentResult:
+def run_fig05(
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
+) -> ExperimentResult:
     """Both panels merged into one result table."""
     merged = ExperimentResult(name="Figure 5", description="accuracy vs drop rates")
     for sub in (
-        run_fig05_single(trials=trials, seed=seed, include_baselines=include_baselines),
-        run_fig05_multiple(trials=trials, seed=seed, include_baselines=include_baselines),
+        run_fig05_single(
+            trials=trials, seed=seed, include_baselines=include_baselines, runner=runner
+        ),
+        run_fig05_multiple(
+            trials=trials, seed=seed, include_baselines=include_baselines, runner=runner
+        ),
     ):
         for point in sub.points:
             merged.add_point({"panel": sub.name, **point.parameters}, point.metrics)

@@ -8,11 +8,12 @@ erratic (large confidence intervals).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+from repro.experiments.sweeps import accuracy_metrics
 
 DEFAULT_NOISE_LEVELS = (1e-6, 1e-5, 5e-5, 1e-4)
 
@@ -23,22 +24,28 @@ def run_fig06(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 6 (accuracy vs noise level, single and multiple failures)."""
-    result = ExperimentResult(
-        name="Figure 6", description="accuracy vs good-link (noise) drop rate"
-    )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for count in failed_link_counts:
-        for noise in noise_levels:
-            config = ScenarioConfig(
+    points = [
+        (
+            {"num_failed_links": count, "noise_drop_rate": noise},
+            ScenarioConfig(
                 num_bad_links=count,
                 drop_rate_range=(1e-3, 1e-2),
                 noise_range=(0.0, noise),
                 seed=seed,
-            )
-            averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-            result.add_point(
-                {"num_failed_links": count, "noise_drop_rate": noise}, averaged
-            )
-    return result
+            ),
+        )
+        for count in failed_link_counts
+        for noise in noise_levels
+    ]
+    return run_point_sweep(
+        name="Figure 6",
+        description="accuracy vs good-link (noise) drop rate",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )

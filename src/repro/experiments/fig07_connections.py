@@ -7,11 +7,12 @@ hurts the under-constrained optimization more than 007.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+from repro.experiments.sweeps import accuracy_metrics
 
 DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
 DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
@@ -24,23 +25,30 @@ def run_fig07_single(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Panel (a): single failure, random connection counts."""
-    result = ExperimentResult(
+    points = [
+        (
+            {"drop_rate": rate},
+            ScenarioConfig(
+                num_bad_links=1,
+                drop_rate_range=(rate, rate),
+                connections_per_host=connection_range,
+                seed=seed,
+            ),
+        )
+        for rate in drop_rates
+    ]
+    return run_point_sweep(
         name="Figure 7a",
         description="accuracy vs drop rate, random #connections per host",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for rate in drop_rates:
-        config = ScenarioConfig(
-            num_bad_links=1,
-            drop_rate_range=(rate, rate),
-            connections_per_host=connection_range,
-            seed=seed,
-        )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"drop_rate": rate}, averaged)
-    return result
 
 
 def run_fig07_multiple(
@@ -49,33 +57,49 @@ def run_fig07_multiple(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Panel (b): multiple failures, random connection counts."""
-    result = ExperimentResult(
+    points = [
+        (
+            {"num_failed_links": count},
+            ScenarioConfig(
+                num_bad_links=count,
+                drop_rate_range=(1e-4, 1e-2),
+                connections_per_host=connection_range,
+                seed=seed,
+            ),
+        )
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
         name="Figure 7b",
         description="accuracy vs #failures, random #connections per host",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for count in failed_link_counts:
-        config = ScenarioConfig(
-            num_bad_links=count,
-            drop_rate_range=(1e-4, 1e-2),
-            connections_per_host=connection_range,
-            seed=seed,
-        )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"num_failed_links": count}, averaged)
-    return result
 
 
-def run_fig07(trials: int = 3, seed: int = 0, include_baselines: bool = True) -> ExperimentResult:
+def run_fig07(
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
+) -> ExperimentResult:
     """Both panels merged."""
     merged = ExperimentResult(
         name="Figure 7", description="random #connections per host"
     )
     for sub in (
-        run_fig07_single(trials=trials, seed=seed, include_baselines=include_baselines),
-        run_fig07_multiple(trials=trials, seed=seed, include_baselines=include_baselines),
+        run_fig07_single(
+            trials=trials, seed=seed, include_baselines=include_baselines, runner=runner
+        ),
+        run_fig07_multiple(
+            trials=trials, seed=seed, include_baselines=include_baselines, runner=runner
+        ),
     ):
         for point in sub.points:
             merged.add_point({"panel": sub.name, **point.parameters}, point.metrics)

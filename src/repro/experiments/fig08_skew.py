@@ -7,11 +7,12 @@ while 007 keeps finding the per-flow cause with high probability.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+from repro.experiments.sweeps import accuracy_metrics
 
 DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
 DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
@@ -33,17 +34,25 @@ def run_fig08_single(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Panel (a): single failure under skewed traffic."""
-    result = ExperimentResult(
-        name="Figure 8a", description="accuracy vs drop rate, skewed traffic"
+    points = [
+        (
+            {"drop_rate": rate},
+            _skewed_config(seed, num_bad_links=1, drop_rate_range=(rate, rate)),
+        )
+        for rate in drop_rates
+    ]
+    return run_point_sweep(
+        name="Figure 8a",
+        description="accuracy vs drop rate, skewed traffic",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for rate in drop_rates:
-        config = _skewed_config(seed, num_bad_links=1, drop_rate_range=(rate, rate))
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"drop_rate": rate}, averaged)
-    return result
 
 
 def run_fig08_multiple(
@@ -51,27 +60,42 @@ def run_fig08_multiple(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Panel (b): multiple failures under skewed traffic."""
-    result = ExperimentResult(
-        name="Figure 8b", description="accuracy vs #failures, skewed traffic"
-    )
-    metrics = accuracy_metrics(include_baselines=include_baselines)
-    for count in failed_link_counts:
-        config = _skewed_config(
-            seed, num_bad_links=count, drop_rate_range=(1e-4, 1e-2)
+    points = [
+        (
+            {"num_failed_links": count},
+            _skewed_config(seed, num_bad_links=count, drop_rate_range=(1e-4, 1e-2)),
         )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"num_failed_links": count}, averaged)
-    return result
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
+        name="Figure 8b",
+        description="accuracy vs #failures, skewed traffic",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )
 
 
-def run_fig08(trials: int = 3, seed: int = 0, include_baselines: bool = True) -> ExperimentResult:
+def run_fig08(
+    trials: int = 3,
+    seed: int = 0,
+    include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
+) -> ExperimentResult:
     """Both panels merged."""
     merged = ExperimentResult(name="Figure 8", description="skewed traffic")
     for sub in (
-        run_fig08_single(trials=trials, seed=seed, include_baselines=include_baselines),
-        run_fig08_multiple(trials=trials, seed=seed, include_baselines=include_baselines),
+        run_fig08_single(
+            trials=trials, seed=seed, include_baselines=include_baselines, runner=runner
+        ),
+        run_fig08_multiple(
+            trials=trials, seed=seed, include_baselines=include_baselines, runner=runner
+        ),
     ):
         for point in sub.points:
             merged.add_point({"panel": sub.name, **point.parameters}, point.metrics)

@@ -8,11 +8,12 @@ suffers when many links fail at once.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+from repro.experiments.sweeps import accuracy_metrics
 
 DEFAULT_SKEWS = (0.1, 0.3, 0.5, 0.7)
 DEFAULT_FAILED_LINK_COUNTS = (1, 5, 10, 15)
@@ -23,23 +24,29 @@ def run_fig09(
     failed_link_counts: Sequence[int] = DEFAULT_FAILED_LINK_COUNTS,
     trials: int = 2,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 9 (hot-ToR skew sweep vs number of failures)."""
-    result = ExperimentResult(
-        name="Figure 9", description="accuracy under a hot ToR sink"
-    )
-    metrics = accuracy_metrics(include_baselines=False)
-    for skew in skews:
-        for count in failed_link_counts:
-            config = ScenarioConfig(
+    points = [
+        (
+            {"skew": skew, "num_failed_links": count},
+            ScenarioConfig(
                 traffic="hot_tor",
                 hot_tor_skew=skew,
                 num_bad_links=count,
                 drop_rate_range=(1e-3, 1e-2),
                 seed=seed,
-            )
-            averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-            result.add_point(
-                {"skew": skew, "num_failed_links": count}, averaged
-            )
-    return result
+            ),
+        )
+        for skew in skews
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
+        name="Figure 9",
+        description="accuracy under a hot ToR sink",
+        points=points,
+        metric_fns=accuracy_metrics(include_baselines=False),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )

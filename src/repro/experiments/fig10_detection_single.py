@@ -3,11 +3,12 @@ link, compared against the integer and binary programs."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import average_over_trials, detection_metrics
+from repro.experiments.sweeps import detection_metrics
 
 DEFAULT_DROP_RATES = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
 
@@ -17,19 +18,22 @@ def run_fig10(
     trials: int = 3,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 10 (detection precision/recall, single failure)."""
-    result = ExperimentResult(
+    points = [
+        (
+            {"drop_rate": rate},
+            ScenarioConfig(num_bad_links=1, drop_rate_range=(rate, rate), seed=seed),
+        )
+        for rate in drop_rates
+    ]
+    return run_point_sweep(
         name="Figure 10",
         description="Algorithm 1 precision/recall vs drop rate, single failure",
+        points=points,
+        metric_fns=detection_metrics(include_baselines=include_baselines),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = detection_metrics(include_baselines=include_baselines)
-    for rate in drop_rates:
-        config = ScenarioConfig(
-            num_bad_links=1,
-            drop_rate_range=(rate, rate),
-            seed=seed,
-        )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"drop_rate": rate}, averaged)
-    return result

@@ -7,11 +7,12 @@ T1->ToR.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import average_over_trials, detection_metrics
+from repro.experiments.sweeps import detection_metrics
 from repro.topology.elements import LinkLevel
 
 DEFAULT_DROP_RATES = (5e-4, 1e-3, 5e-3, 1e-2)
@@ -29,23 +30,30 @@ def run_fig11(
     drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
     trials: int = 2,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 11 (failure location vs detection precision/recall)."""
-    result = ExperimentResult(
-        name="Figure 11",
-        description="Algorithm 1 precision/recall by failed-link location",
-    )
-    metrics = detection_metrics(include_baselines=False)
-    for label, level, downward in LOCATIONS:
-        for rate in drop_rates:
-            config = ScenarioConfig(
+    points = [
+        (
+            {"location": label, "drop_rate": rate},
+            ScenarioConfig(
                 failure_kind="level",
                 failure_level=level,
                 failure_downward=downward,
                 num_bad_links=1,
                 drop_rate_range=(rate, rate),
                 seed=seed,
-            )
-            averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-            result.add_point({"location": label, "drop_rate": rate}, averaged)
-    return result
+            ),
+        )
+        for label, level, downward in LOCATIONS
+        for rate in drop_rates
+    ]
+    return run_point_sweep(
+        name="Figure 11",
+        description="Algorithm 1 precision/recall by failed-link location",
+        points=points,
+        metric_fns=detection_metrics(include_baselines=False),
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )

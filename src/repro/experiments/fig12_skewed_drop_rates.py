@@ -8,12 +8,12 @@ threshold (it would be near 100% if the top-k links were simply selected).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.scenario import run_scenario
-from repro.experiments.sweeps import average_over_trials, detection_metrics
+from repro.experiments.sweeps import detection_metrics
 from repro.metrics.evaluation import top_k_recall
 
 DEFAULT_FAILED_LINK_COUNTS = (2, 6, 10, 14)
@@ -24,24 +24,27 @@ def run_fig12(
     trials: int = 2,
     seed: int = 0,
     include_baselines: bool = True,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 12 (skewed drop rates, multiple failures)."""
-    result = ExperimentResult(
+    metrics = dict(detection_metrics(include_baselines=include_baselines))
+    metrics["topk_recall_007"] = _topk_recall_metric
+    points = [
+        (
+            {"num_failed_links": count},
+            ScenarioConfig(failure_kind="skewed", num_bad_links=count, seed=seed),
+        )
+        for count in failed_link_counts
+    ]
+    return run_point_sweep(
         name="Figure 12",
         description="Algorithm 1 precision/recall, heavily skewed drop rates",
+        points=points,
+        metric_fns=metrics,
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
     )
-    metrics = detection_metrics(include_baselines=include_baselines)
-    metrics = dict(metrics)
-    metrics["topk_recall_007"] = _topk_recall_metric
-    for count in failed_link_counts:
-        config = ScenarioConfig(
-            failure_kind="skewed",
-            num_bad_links=count,
-            seed=seed,
-        )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"num_failed_links": count}, averaged)
-    return result
 
 
 def _topk_recall_metric(scenario_result) -> float:

@@ -8,15 +8,12 @@ is essentially unchanged with >= 30 failed links.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import SweepRunner, run_point_sweep
 from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import (
-    accuracy_metrics,
-    average_over_trials,
-    detection_metrics,
-)
+from repro.experiments.sweeps import accuracy_metrics, detection_metrics
 from repro.topology.elements import LinkLevel
 
 
@@ -26,36 +23,62 @@ def run_sec67(
     seed: int = 0,
     include_baselines: bool = True,
     many_failures: int = 30,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Section 6.7 network-size study."""
-    result = ExperimentResult(
-        name="Section 6.7", description="accuracy and detection vs number of pods"
-    )
     metrics = dict(accuracy_metrics(include_baselines=include_baselines))
     metrics.update(detection_metrics(include_baselines=False))
-    for pods in pod_counts:
-        config = ScenarioConfig(
-            npod=pods,
-            num_bad_links=1,
-            drop_rate_range=(1e-3, 1e-2),
-            # A single-pod Clos carries no cross-pod traffic, so level-2 links
-            # see no flows; keep the injected failure on a level the traffic
-            # actually exercises.
-            failure_levels=(LinkLevel.LEVEL1,) if pods == 1 else (LinkLevel.LEVEL1, LinkLevel.LEVEL2),
-            seed=seed,
+    points = [
+        (
+            {"pods": pods, "num_failed_links": 1},
+            ScenarioConfig(
+                npod=pods,
+                num_bad_links=1,
+                drop_rate_range=(1e-3, 1e-2),
+                # A single-pod Clos carries no cross-pod traffic, so level-2
+                # links see no flows; keep the injected failure on a level the
+                # traffic actually exercises.
+                failure_levels=(
+                    (LinkLevel.LEVEL1,)
+                    if pods == 1
+                    else (LinkLevel.LEVEL1, LinkLevel.LEVEL2)
+                ),
+                seed=seed,
+            ),
         )
-        averaged = average_over_trials(config, metrics, trials=trials, base_seed=seed)
-        result.add_point({"pods": pods, "num_failed_links": 1}, averaged)
+        for pods in pod_counts
+    ]
+    result = run_point_sweep(
+        name="Section 6.7",
+        description="accuracy and detection vs number of pods",
+        points=points,
+        metric_fns=metrics,
+        trials=trials,
+        base_seed=seed,
+        runner=runner,
+    )
 
     # The ">= 30 simultaneous failures" data point of Section 6.7.
     if many_failures:
-        config = ScenarioConfig(
-            npod=2,
-            num_bad_links=many_failures,
-            drop_rate_range=(1e-3, 1e-2),
-            seed=seed,
+        many = run_point_sweep(
+            name="Section 6.7 (many failures)",
+            description="",
+            points=[
+                (
+                    {"pods": 2, "num_failed_links": many_failures},
+                    ScenarioConfig(
+                        npod=2,
+                        num_bad_links=many_failures,
+                        drop_rate_range=(1e-3, 1e-2),
+                        seed=seed,
+                    ),
+                )
+            ],
+            metric_fns=accuracy_metrics(include_baselines=include_baselines),
+            trials=trials,
+            base_seed=seed,
+            runner=runner,
         )
-        accuracy_only = accuracy_metrics(include_baselines=include_baselines)
-        averaged = average_over_trials(config, accuracy_only, trials=trials, base_seed=seed)
-        result.add_point({"pods": 2, "num_failed_links": many_failures}, averaged)
+        for point in many.points:
+            result.add_point(point.parameters, point.metrics)
     return result

@@ -1,58 +1,97 @@
-"""Sweep helpers shared by the per-figure experiment modules."""
+"""Sweep helpers shared by the per-figure experiment modules.
+
+The metric functions are deliberately module-level ``def``s (not lambdas):
+:class:`~repro.experiments.runner.SweepRunner` pickles them into worker
+processes when experiments run with ``workers > 1``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
-import numpy as np
-
-from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult
 
 MetricFn = Callable[[ScenarioResult], float]
 
 
+# ----------------------------------------------------------------------
+# picklable metric functions
+# ----------------------------------------------------------------------
+def metric_accuracy_007(result: ScenarioResult) -> float:
+    """Per-connection accuracy of 007."""
+    return result.accuracy_007()
+
+
+def metric_precision_007(result: ScenarioResult) -> float:
+    """Algorithm 1 detection precision."""
+    return result.detection_007().precision
+
+
+def metric_recall_007(result: ScenarioResult) -> float:
+    """Algorithm 1 detection recall."""
+    return result.detection_007().recall
+
+
+def metric_accuracy_integer(result: ScenarioResult) -> float:
+    """Per-connection accuracy of the integer program baseline."""
+    return result.accuracy_integer_program(exact=False)
+
+
+def metric_precision_integer(result: ScenarioResult) -> float:
+    """Detection precision of the integer program baseline."""
+    return result.integer_program_detection(exact=False).precision
+
+
+def metric_recall_integer(result: ScenarioResult) -> float:
+    """Detection recall of the integer program baseline."""
+    return result.integer_program_detection(exact=False).recall
+
+
+def metric_precision_binary(result: ScenarioResult) -> float:
+    """Detection precision of the binary program baseline."""
+    return result.binary_program_detection(exact=False).precision
+
+
+def metric_recall_binary(result: ScenarioResult) -> float:
+    """Detection recall of the binary program baseline."""
+    return result.binary_program_detection(exact=False).recall
+
+
+# ----------------------------------------------------------------------
 def average_over_trials(
     config: ScenarioConfig,
     metric_fns: Mapping[str, MetricFn],
     trials: int = 3,
     base_seed: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, float]:
     """Run ``config`` ``trials`` times (different seeds) and average each metric.
 
     ``nan`` values (e.g. accuracy when no flow crossed a failed link in a
     trial) are ignored in the average; a metric that is ``nan`` in every trial
-    stays ``nan``.
+    stays ``nan``.  Pass a :class:`SweepRunner` to fan the trials out over a
+    worker pool; the default serial runner produces identical results.
     """
-    samples: Dict[str, List[float]] = {name: [] for name in metric_fns}
-    for trial in range(trials):
-        seed = (base_seed if base_seed is not None else config.seed) + 1009 * trial
-        result = run_scenario(replace(config, seed=seed))
-        for name, fn in metric_fns.items():
-            value = float(fn(result))
-            if not np.isnan(value):
-                samples[name].append(value)
-    return {
-        name: (float(np.mean(values)) if values else float("nan"))
-        for name, values in samples.items()
-    }
+    active = runner if runner is not None else SweepRunner(workers=1)
+    return active.run_trials(config, metric_fns, trials=trials, base_seed=base_seed)
 
 
 def standard_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
     """The metric set most figures report: accuracy + detection for 007 and baselines."""
     metrics: Dict[str, MetricFn] = {
-        "accuracy_007": lambda r: r.accuracy_007(),
-        "precision_007": lambda r: r.detection_007().precision,
-        "recall_007": lambda r: r.detection_007().recall,
+        "accuracy_007": metric_accuracy_007,
+        "precision_007": metric_precision_007,
+        "recall_007": metric_recall_007,
     }
     if include_baselines:
         metrics.update(
             {
-                "accuracy_integer": lambda r: r.accuracy_integer_program(exact=False),
-                "precision_integer": lambda r: r.integer_program_detection(exact=False).precision,
-                "recall_integer": lambda r: r.integer_program_detection(exact=False).recall,
-                "precision_binary": lambda r: r.binary_program_detection(exact=False).precision,
-                "recall_binary": lambda r: r.binary_program_detection(exact=False).recall,
+                "accuracy_integer": metric_accuracy_integer,
+                "precision_integer": metric_precision_integer,
+                "recall_integer": metric_recall_integer,
+                "precision_binary": metric_precision_binary,
+                "recall_binary": metric_recall_binary,
             }
         )
     return metrics
@@ -60,25 +99,25 @@ def standard_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
 
 def accuracy_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
     """Just the per-connection accuracy metrics (Figures 3, 5-9)."""
-    metrics: Dict[str, MetricFn] = {"accuracy_007": lambda r: r.accuracy_007()}
+    metrics: Dict[str, MetricFn] = {"accuracy_007": metric_accuracy_007}
     if include_baselines:
-        metrics["accuracy_integer"] = lambda r: r.accuracy_integer_program(exact=False)
+        metrics["accuracy_integer"] = metric_accuracy_integer
     return metrics
 
 
 def detection_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
     """Just the Algorithm 1 precision/recall metrics (Figures 4, 10-12)."""
     metrics: Dict[str, MetricFn] = {
-        "precision_007": lambda r: r.detection_007().precision,
-        "recall_007": lambda r: r.detection_007().recall,
+        "precision_007": metric_precision_007,
+        "recall_007": metric_recall_007,
     }
     if include_baselines:
         metrics.update(
             {
-                "precision_integer": lambda r: r.integer_program_detection(exact=False).precision,
-                "recall_integer": lambda r: r.integer_program_detection(exact=False).recall,
-                "precision_binary": lambda r: r.binary_program_detection(exact=False).precision,
-                "recall_binary": lambda r: r.binary_program_detection(exact=False).recall,
+                "precision_integer": metric_precision_integer,
+                "recall_integer": metric_recall_integer,
+                "precision_binary": metric_precision_binary,
+                "recall_binary": metric_recall_binary,
             }
         )
     return metrics

@@ -15,7 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.netsim.events import ConnectionSetupFailureEvent, RetransmissionEvent
 from repro.netsim.flows import FlowRecord
 from repro.netsim.links import LinkStateTable
-from repro.netsim.tcp import TransferResult, simulate_transfer
+from repro.netsim.tcp import TransferResult, simulate_transfers_batch
 from repro.netsim.traffic import TrafficDemand, TrafficGenerator
 from repro.routing.ecmp import EcmpRouter, NoRouteError
 from repro.routing.fivetuple import FiveTuple
@@ -29,6 +29,20 @@ EventCallback = Callable[[object], None]
 _PORT_BY_KIND = {"data": 443, "storage": 445, "background": 80}
 
 
+class _PendingTransfer(TransferResult):
+    """Placeholder result of an established flow awaiting its batched transfer."""
+
+    def __init__(self, num_packets: int) -> None:
+        super().__init__(
+            num_packets=num_packets,
+            packets_delivered=0,
+            packets_lost=num_packets,
+            retransmissions=0,
+            drops_by_link={},
+            connection_failed=True,
+        )
+
+
 @dataclass
 class SimulationConfig:
     """Tunables of the epoch simulator."""
@@ -38,6 +52,9 @@ class SimulationConfig:
     syn_retries: int = 3
     base_src_port: int = 1024
     simulate_setup_failures: bool = True
+    #: how many established connections are simulated per vectorized TCP batch
+    #: (bounds the working-set size of the stacked drop-probability matrices).
+    transfer_batch_size: int = 4096
 
 
 @dataclass
@@ -133,14 +150,24 @@ class EpochSimulator:
 
     # ------------------------------------------------------------------
     def run_epoch(self, epoch: int, demands: Optional[Sequence[TrafficDemand]] = None) -> EpochResult:
-        """Simulate one epoch; returns its :class:`EpochResult`."""
+        """Simulate one epoch; returns its :class:`EpochResult`.
+
+        The epoch runs in two phases.  First every demand is *established*:
+        SLB VIP resolution, ECMP routing (served by the router's path cache
+        for repeated five-tuple hash inputs) and the SYN handshake.  Then the
+        established connections' TCP transfers are simulated in grouped
+        vectorized batches instead of one flow at a time.
+        """
         if demands is None:
             demands = self._traffic.generate(epoch, rng=self._rng)
         result = EpochResult(epoch=epoch)
-        for demand in demands:
-            record = self._simulate_demand(epoch, demand, result)
-            if record is not None:
-                result.flows.append(record)
+
+        established = [
+            flow
+            for demand in demands
+            if (flow := self._establish_connection(epoch, demand, result)) is not None
+        ]
+        self._transfer_batches(epoch, established, result)
         return result
 
     def run(self, num_epochs: int, start_epoch: int = 0) -> List[EpochResult]:
@@ -148,9 +175,16 @@ class EpochSimulator:
         return [self.run_epoch(start_epoch + i) for i in range(num_epochs)]
 
     # ------------------------------------------------------------------
-    def _simulate_demand(
+    def _establish_connection(
         self, epoch: int, demand: TrafficDemand, result: EpochResult
     ) -> Optional[FlowRecord]:
+        """Set up one connection; returns its (transfer-less) flow record.
+
+        Returns ``None`` when the network has no usable path at all.  When the
+        SYN handshake fails, the record is returned with a failed
+        :class:`TransferResult` already attached and appended to
+        ``result.flows`` — the batch-transfer phase skips it.
+        """
         flow_id = self._next_flow_id
         self._next_flow_id += 1
         src_port = self._allocate_src_port()
@@ -198,7 +232,7 @@ class EpochSimulator:
             )
             result.setup_failures.append(event)
             self._publish(event)
-            failed_result = TransferResult(
+            transfer_state: TransferResult = TransferResult(
                 num_packets=demand.num_packets,
                 packets_delivered=0,
                 packets_lost=demand.num_packets,
@@ -206,24 +240,9 @@ class EpochSimulator:
                 drops_by_link={},
                 connection_failed=True,
             )
-            return FlowRecord(
-                flow_id=flow_id,
-                epoch=epoch,
-                five_tuple=app_tuple,
-                src_host=demand.src_host,
-                dst_host=demand.dst_host,
-                path=path,
-                result=failed_result,
-                kind=demand.kind,
-            )
+        else:
+            transfer_state = _PendingTransfer(demand.num_packets)
 
-        transfer = simulate_transfer(
-            path,
-            demand.num_packets,
-            self._link_table,
-            rng=self._rng,
-            max_rounds=self._config.max_rounds,
-        )
         record = FlowRecord(
             flow_id=flow_id,
             epoch=epoch,
@@ -231,22 +250,43 @@ class EpochSimulator:
             src_host=demand.src_host,
             dst_host=demand.dst_host,
             path=path,
-            result=transfer,
+            result=transfer_state,
             kind=demand.kind,
         )
-        if transfer.has_retransmission:
-            event = RetransmissionEvent(
-                flow_id=flow_id,
-                epoch=epoch,
-                src_host=demand.src_host,
-                dst_host=demand.dst_host,
-                five_tuple=app_tuple,
-                retransmissions=transfer.retransmissions,
-                timestamp=float(self._rng.uniform(0, self._config.epoch_duration_s)),
-            )
-            result.retransmission_events.append(event)
-            self._publish(event)
+        result.flows.append(record)
         return record
+
+    def _transfer_batches(
+        self, epoch: int, records: Sequence[FlowRecord], result: EpochResult
+    ) -> None:
+        """Simulate the TCP transfers of every pending flow in grouped batches."""
+        pending = [r for r in records if isinstance(r.result, _PendingTransfer)]
+        batch_size = max(1, self._config.transfer_batch_size)
+        for start in range(0, len(pending), batch_size):
+            batch = pending[start : start + batch_size]
+            transfers = simulate_transfers_batch(
+                [record.path for record in batch],
+                [record.result.num_packets for record in batch],
+                self._link_table,
+                rng=self._rng,
+                max_rounds=self._config.max_rounds,
+            )
+            for record, transfer in zip(batch, transfers):
+                record.result = transfer
+                if transfer.has_retransmission:
+                    event = RetransmissionEvent(
+                        flow_id=record.flow_id,
+                        epoch=epoch,
+                        src_host=record.src_host,
+                        dst_host=record.dst_host,
+                        five_tuple=record.five_tuple,
+                        retransmissions=transfer.retransmissions,
+                        timestamp=float(
+                            self._rng.uniform(0, self._config.epoch_duration_s)
+                        ),
+                    )
+                    result.retransmission_events.append(event)
+                    self._publish(event)
 
     def _setup_fails(self, path: Path) -> bool:
         """True when the SYN handshake fails ``syn_retries`` times in a row."""

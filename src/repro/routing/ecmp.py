@@ -13,7 +13,7 @@ around failed links can be simulated (see :mod:`repro.routing.bgp`).
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.routing.fivetuple import FiveTuple
 from repro.routing.paths import Path
@@ -47,17 +47,40 @@ class EcmpRouter:
         Optional predicate; next hops whose outgoing link satisfies it are
         excluded from the ECMP group (models BGP withdrawing routes over
         failed links).
+    cache_paths:
+        Memoize :meth:`route` results per ``(five-tuple, src, dst)``.  ECMP is
+        a pure function of the hash inputs and the switch seeds, so repeated
+        lookups (data packets, then the traceroute of the same flow, then
+        re-routes across epochs) hit the cache.  Caching suspends itself while
+        a custom ``link_down`` predicate is installed — predicates are often
+        stateful (e.g. :class:`~repro.routing.bgp.BgpRerouter`) and can change
+        routing without the router seeing a mutation.
+    max_cached_routes:
+        Size bound of the memo table.  Long runs route a fresh source port per
+        connection, so the table would otherwise grow without limit; when the
+        bound is hit the table is dropped wholesale (epoch-cache semantics)
+        and refills with the currently-hot flows.
     """
+
+    DEFAULT_MAX_CACHED_ROUTES = 200_000
 
     def __init__(
         self,
         topology: ClosTopology,
         rng: RngLike = 0,
         link_down: Optional[LinkDownPredicate] = None,
+        cache_paths: bool = True,
+        max_cached_routes: int = DEFAULT_MAX_CACHED_ROUTES,
     ) -> None:
         self._topology = topology
         self._rng = ensure_rng(rng)
         self._link_down = link_down or (lambda link: False)
+        self._has_custom_link_down = link_down is not None
+        self._cache_paths = cache_paths
+        self._max_cached_routes = max(1, int(max_cached_routes))
+        self._route_cache: Dict[Tuple[tuple, str, str], Path] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._seeds = {
             name: int(self._rng.integers(0, 2**31 - 1))
             for name in sorted(topology.switches)
@@ -72,11 +95,24 @@ class EcmpRouter:
     def set_link_down_predicate(self, predicate: Optional[LinkDownPredicate]) -> None:
         """Replace the link-down predicate (``None`` restores "all links up")."""
         self._link_down = predicate or (lambda link: False)
+        self._has_custom_link_down = predicate is not None
+        self.clear_route_cache()
 
     def reseed_switch(self, switch: str, rng: RngLike = None) -> None:
         """Change a switch's ECMP seed, as happens when the switch reboots."""
         generator = ensure_rng(rng) if rng is not None else self._rng
         self._seeds[switch] = int(generator.integers(0, 2**31 - 1))
+        self.clear_route_cache()
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_enabled(self) -> bool:
+        """True when :meth:`route` results are currently being memoized."""
+        return self._cache_paths and not self._has_custom_link_down
+
+    def clear_route_cache(self) -> None:
+        """Drop every memoized route (seeds or reachability changed)."""
+        self._route_cache.clear()
 
     def seed_of(self, switch: str) -> int:
         """The (normally proprietary) ECMP seed of ``switch``."""
@@ -95,6 +131,25 @@ class EcmpRouter:
         if src_host == dst_host:
             raise ValueError("cannot route a flow from a host to itself")
 
+        caching = self.cache_enabled
+        if caching:
+            key = (flow.canonical_key(), src_host, dst_host)
+            cached = self._route_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+
+        path = self._compute_route(flow, src_host, dst_host)
+        if caching:
+            if len(self._route_cache) >= self._max_cached_routes:
+                self._route_cache.clear()
+            self._route_cache[key] = path
+        return path
+
+    def _compute_route(self, flow: FiveTuple, src_host: str, dst_host: str) -> Path:
+        """Walk the fabric hop by hop, hashing the flow at every ECMP group."""
+        topo = self._topology
         nodes: List[str] = [src_host]
         src_tor = topo.host(src_host).tor
         dst_tor = topo.host(dst_host).tor

@@ -1,0 +1,26 @@
+"""Reusable test/benchmark helpers shipped with the package.
+
+Living inside ``repro`` (instead of a ``conftest.py``) makes these helpers
+importable from any test or benchmark directory without relying on pytest's
+rootdir-dependent ``conftest`` module resolution — ``from conftest import x``
+silently resolves to whichever conftest pytest imported first, which is how
+the ``tests/`` suite once ended up importing ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.clos import ClosTopology
+
+
+def pair_of_hosts(topology: ClosTopology, cross_pod: bool = True) -> tuple[str, str]:
+    """Return a (src, dst) host pair, cross-pod when requested."""
+    hosts = sorted(topology.hosts)
+    src = hosts[0]
+    src_pod = topology.host(src).pod
+    for dst in hosts[1:]:
+        host = topology.host(dst)
+        if cross_pod and host.pod != src_pod:
+            return src, dst
+        if not cross_pod and host.pod == src_pod and host.tor != topology.host(src).tor:
+            return src, dst
+    raise RuntimeError("no suitable host pair found")

@@ -39,15 +39,6 @@ def medium_topology() -> ClosTopology:
     return ClosTopology(ClosParameters(npod=2, n0=6, n1=3, n2=3, hosts_per_tor=2))
 
 
-def pair_of_hosts(topology: ClosTopology, cross_pod: bool = True) -> tuple[str, str]:
-    """Return a (src, dst) host pair, cross-pod when requested."""
-    hosts = sorted(topology.hosts)
-    src = hosts[0]
-    src_pod = topology.host(src).pod
-    for dst in hosts[1:]:
-        host = topology.host(dst)
-        if cross_pod and host.pod != src_pod:
-            return src, dst
-        if not cross_pod and host.pod == src_pod and host.tor != topology.host(src).tor:
-            return src, dst
-    raise RuntimeError("no suitable host pair found")
+# ``pair_of_hosts`` lives in ``repro.testing`` — importing helpers from a
+# conftest module is rootdir-dependent and once made this suite collect
+# ``benchmarks/conftest.py`` instead.  Keep conftest fixtures-only.

@@ -1,0 +1,46 @@
+"""Collection smoke test: the whole suite must collect from the repo root.
+
+Guards against the conftest-shadowing regression the seed shipped with, where
+``from conftest import ...`` in ``tests/`` resolved to ``benchmarks/conftest.py``
+and five modules failed at import time before a single test ran.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _collect(*pytest_args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", *pytest_args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestCollection:
+    def test_default_collection_has_zero_errors(self):
+        """``python -m pytest --collect-only`` from the repo root succeeds."""
+        proc = _collect()
+        # Any collection error (like the seed's conftest shadowing, which hit
+        # five modules with ImportError) makes pytest exit non-zero and print
+        # an "N errors" summary line.
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "tests collected" in proc.stdout, proc.stdout
+
+    def test_benchmarks_collect_alongside_tests(self):
+        """Collecting tests/ and benchmarks/ together must not shadow either."""
+        proc = _collect("tests", "benchmarks")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "tests collected" in proc.stdout, proc.stdout

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import pair_of_hosts
+from repro.testing import pair_of_hosts
 from repro.core.aggregate import MultiEpochAggregator
 from repro.core.analysis import AnalysisAgent
 from repro.core.blame import BlameConfig

@@ -1,0 +1,114 @@
+"""Unit tests for the parallel sweep runner.
+
+The load-bearing properties: per-trial seed forking matches the serial
+``average_over_trials`` derivation bit-for-bit, and results are byte-identical
+regardless of the worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    SweepRunner,
+    TRIAL_SEED_STRIDE,
+    fork_trial_seed,
+    run_point_sweep,
+)
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.sweeps import accuracy_metrics, average_over_trials
+
+#: a deliberately tiny scenario so every test stays fast.
+TINY = dict(
+    npod=2,
+    n0=3,
+    n1=2,
+    n2=2,
+    hosts_per_tor=2,
+    connections_per_host=8,
+    packets_per_flow=50,
+    num_bad_links=1,
+    drop_rate_range=(5e-3, 1e-2),
+)
+
+
+def _config(seed: int = 0) -> ScenarioConfig:
+    return ScenarioConfig(seed=seed, **TINY)
+
+
+def _nan_metric(result) -> float:
+    return float("nan")
+
+
+class TestSeedForking:
+    def test_fork_matches_historical_derivation(self):
+        assert fork_trial_seed(7, 0) == 7
+        assert fork_trial_seed(7, 3) == 7 + 3 * TRIAL_SEED_STRIDE
+
+    def test_run_trials_matches_serial_average_bit_for_bit(self):
+        """SweepRunner(workers=1) must equal the historical serial results."""
+        config = _config(seed=5)
+        metrics = accuracy_metrics(include_baselines=False)
+        serial = average_over_trials(config, metrics, trials=3, base_seed=5)
+        runner = SweepRunner(workers=1).run_trials(config, metrics, trials=3, base_seed=5)
+        assert serial == runner  # exact float equality, not approx
+
+    def test_trials_differ_across_seeds(self):
+        """Forked trials really run different scenarios (not the same seed)."""
+        a = run_scenario(_config(seed=fork_trial_seed(0, 0)))
+        b = run_scenario(_config(seed=fork_trial_seed(0, 1)))
+        assert a.failure_scenario.bad_links != b.failure_scenario.bad_links or (
+            a.epoch_results[0].total_drops != b.epoch_results[0].total_drops
+        )
+
+
+class TestWorkerCountInvariance:
+    def test_parallel_rows_byte_identical_to_serial(self):
+        points = [
+            ({"bad": count}, ScenarioConfig(seed=0, **{**TINY, "num_bad_links": count}))
+            for count in (1, 2)
+        ]
+        metrics = accuracy_metrics(include_baselines=False)
+        kwargs = dict(points=points, metric_fns=metrics, trials=2, base_seed=0)
+        serial = SweepRunner(workers=1).run_sweep(**kwargs)
+        parallel = SweepRunner(workers=2).run_sweep(**kwargs)
+        assert serial.rows() == parallel.rows()
+
+    def test_point_order_preserved(self):
+        points = [({"i": i}, _config(seed=i)) for i in range(4)]
+        result = SweepRunner(workers=2).run_sweep(
+            points, accuracy_metrics(include_baselines=False), trials=1, base_seed=0
+        )
+        assert [p.parameters["i"] for p in result.points] == [0, 1, 2, 3]
+
+
+class TestNanHandling:
+    def test_all_nan_metric_stays_nan(self):
+        averaged = SweepRunner(workers=1).run_trials(
+            _config(), {"always_nan": _nan_metric}, trials=2, base_seed=0
+        )
+        assert np.isnan(averaged["always_nan"])
+
+
+class TestRunPointSweep:
+    def test_default_runner_is_serial(self):
+        metrics = accuracy_metrics(include_baselines=False)
+        result = run_point_sweep(
+            name="t",
+            description="",
+            points=[({}, _config())],
+            metric_fns=metrics,
+            trials=1,
+            base_seed=0,
+        )
+        expected = average_over_trials(_config(), metrics, trials=1, base_seed=0)
+        got = result.points[0].metrics
+        assert got.keys() == expected.keys()
+        for key in expected:
+            # identical bits, including the all-trials-nan case
+            assert np.array([got[key]]).tobytes() == np.array([expected[key]]).tobytes()
+
+    def test_invalid_workers_raise(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=-1)

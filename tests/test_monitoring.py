@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import pair_of_hosts
+from repro.testing import pair_of_hosts
 from repro.discovery.agent import PathDiscoveryAgent
 from repro.discovery.icmp import IcmpRateLimiter
 from repro.discovery.traceroute import TracerouteEngine

@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.netsim.links import LinkStateTable
-from repro.netsim.tcp import probability_of_retransmission, simulate_transfer
+from repro.netsim.tcp import (
+    probability_of_retransmission,
+    simulate_transfer,
+    simulate_transfers_batch,
+)
 from repro.routing.paths import Path
 from repro.topology.clos import ClosTopology
 from repro.topology.elements import DirectedLink
@@ -117,6 +121,82 @@ class TestLossyTransfer:
             drops_by_link={path.links[0]: 1, path.links[1]: 1},
         )
         assert result.dominant_drop_link() == min(path.links[0], path.links[1])
+
+
+class TestBatchedTransfer:
+    def test_empty_batch(self, fabric):
+        _, table, _ = fabric
+        assert simulate_transfers_batch([], [], table, rng=0) == []
+
+    def test_mismatched_lengths_raise(self, fabric):
+        _, table, path = fabric
+        with pytest.raises(ValueError):
+            simulate_transfers_batch([path], [10, 20], table)
+
+    def test_negative_packets_raise(self, fabric):
+        _, table, path = fabric
+        with pytest.raises(ValueError):
+            simulate_transfers_batch([path], [-1], table)
+
+    def test_lossless_batch_delivers_everything(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        results = simulate_transfers_batch([path] * 10, 100, table, rng=0)
+        assert all(r.packets_delivered == 100 for r in results)
+        assert all(not r.has_retransmission for r in results)
+
+    def test_scalar_packet_count_broadcasts(self, fabric):
+        _, table, path = fabric
+        results = simulate_transfers_batch([path, path, path], 25, table, rng=0)
+        assert [r.num_packets for r in results] == [25, 25, 25]
+
+    def test_conservation_per_flow(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[1], 0.3)
+        results = simulate_transfers_batch([path] * 50, 100, table, rng=1, max_rounds=3)
+        for r in results:
+            assert r.packets_delivered + r.packets_lost == 100
+            assert r.retransmissions == r.total_drops
+        table.reset_noise(rng=0)
+
+    def test_blackhole_fails_every_flow(self, fabric):
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[0], 1.0)
+        results = simulate_transfers_batch([path] * 5, [40] * 5, table, rng=0, max_rounds=2)
+        for r in results:
+            assert r.connection_failed
+            assert r.drops_by_link[path.links[0]] == 80  # 2 rounds x 40 packets
+        table.reset_noise(rng=0)
+
+    def test_mixed_path_lengths(self, fabric):
+        topology, table, long_path = fabric
+        hosts = sorted(topology.hosts)
+        short_path = Path.from_nodes([hosts[0], topology.host(hosts[0]).tor, hosts[1]])
+        table.reset_noise(rng=0)
+        table.inject_failure(long_path.links[1], 0.5)
+        results = simulate_transfers_batch(
+            [short_path, long_path], [30, 30], table, rng=2
+        )
+        assert results[0].packets_delivered == 30  # short path is clean
+        assert set(results[1].drops_by_link) <= set(long_path.links)
+        table.reset_noise(rng=0)
+
+    def test_distribution_matches_scalar_model(self, fabric):
+        """Batch and scalar sampling draw from the same distribution."""
+        _, table, path = fabric
+        table.reset_noise(rng=0)
+        table.inject_failure(path.links[1], 0.05)
+        rng = np.random.default_rng(7)
+        batch = simulate_transfers_batch([path] * 400, 100, table, rng=rng)
+        rng = np.random.default_rng(8)
+        scalar = [simulate_transfer(path, 100, table, rng=rng) for _ in range(400)]
+        batch_mean = np.mean([r.retransmissions for r in batch])
+        scalar_mean = np.mean([r.retransmissions for r in scalar])
+        # ~5 expected drops per flow; sample means over 400 flows are tight.
+        assert abs(batch_mean - scalar_mean) < 1.0
+        table.reset_noise(rng=0)
 
 
 class TestAnalyticProbability:

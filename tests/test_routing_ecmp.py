@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import pair_of_hosts
+from repro.testing import pair_of_hosts
 from repro.routing.ecmp import EcmpRouter, NoRouteError
 from repro.routing.fivetuple import FiveTuple
 from repro.topology.elements import DirectedLink, SwitchTier
@@ -118,6 +118,62 @@ class TestRouteErrors:
         for port in range(1000, 1050):
             path = router.route(_flow(src, dst, port), src, dst)
             assert avoided_t1 != path.nodes()[2]
+
+
+class TestRouteCache:
+    def test_cache_hit_returns_same_path(self, small_topology):
+        router = EcmpRouter(small_topology, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        flow = _flow(src, dst)
+        first = router.route(flow, src, dst)
+        assert router.route(flow, src, dst) is first
+        assert router.cache_hits == 1 and router.cache_misses == 1
+
+    def test_cached_equals_uncached(self, small_topology):
+        cached = EcmpRouter(small_topology, rng=0, cache_paths=True)
+        uncached = EcmpRouter(small_topology, rng=0, cache_paths=False)
+        src, dst = pair_of_hosts(small_topology)
+        for port in range(1000, 1050):
+            flow = _flow(src, dst, port)
+            assert cached.route(flow, src, dst) == uncached.route(flow, src, dst)
+        assert uncached.cache_hits == 0 and uncached.cache_misses == 0
+
+    def test_reseed_invalidates_cache(self, small_topology):
+        router = EcmpRouter(small_topology, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        flow = _flow(src, dst)
+        router.route(flow, src, dst)
+        # Reseed every switch: the flow must be re-hashed, not served stale.
+        for switch in sorted(small_topology.switches):
+            router.reseed_switch(switch, rng=1234)
+        fresh = EcmpRouter(small_topology, rng=0)
+        for switch in sorted(small_topology.switches):
+            fresh.reseed_switch(switch, rng=1234)
+        assert router.route(flow, src, dst) == fresh.route(flow, src, dst)
+
+    def test_custom_link_down_predicate_disables_cache(self, small_topology):
+        down = set()
+        router = EcmpRouter(small_topology, rng=0, link_down=lambda l: l in down)
+        assert not router.cache_enabled
+        src, dst = pair_of_hosts(small_topology)
+        flow = _flow(src, dst)
+        path = router.route(flow, src, dst)
+        # Mutate the predicate's backing state: the next route must see it.
+        down.add(path.links[1])
+        rerouted = router.route(flow, src, dst)
+        assert path.links[1] not in rerouted.links
+
+    def test_set_predicate_clears_cache_and_none_restores(self, small_topology):
+        router = EcmpRouter(small_topology, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        flow = _flow(src, dst)
+        path = router.route(flow, src, dst)
+        blocked = path.links[1]
+        router.set_link_down_predicate(lambda l: l == blocked)
+        assert blocked not in router.route(flow, src, dst).links
+        router.set_link_down_predicate(None)
+        assert router.cache_enabled
+        assert router.route(flow, src, dst) == path
 
 
 class TestReverseAndEnumeration:
