@@ -3,7 +3,8 @@
 The paper stresses that 007 is lightweight: negligible CPU, tiny memory, and
 an analysis step cheap enough to run centrally every 30 seconds.  These
 micro-benchmarks measure the throughput of the building blocks: ECMP routing,
-flow transfer simulation, vote tallying, Algorithm 1, and traceroute path
+flow transfer simulation, vote tallying, Algorithm 1 (in both the dict
+reference engine and the vectorized array engine), and traceroute path
 discovery.
 """
 
@@ -11,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.arrays import ArrayVoteTally, LinkIndex
 from repro.core.blame import BlameConfig, find_problematic_links
 from repro.core.votes import VoteTally
 from repro.discovery.icmp import IcmpRateLimiter
@@ -103,7 +105,7 @@ def test_bench_flow_transfer_batched(benchmark, fabric):
 
 
 def test_bench_vote_tally_and_blame(benchmark, fabric):
-    """Tally votes for 2000 failed flows and run Algorithm 1."""
+    """Tally votes for 2000 failed flows and run Algorithm 1 (dict engine)."""
     topology, router, _, hosts = fabric
     link_lists = []
     for i in range(2000):
@@ -117,6 +119,66 @@ def test_bench_vote_tally_and_blame(benchmark, fabric):
         return find_problematic_links(tally, BlameConfig())
 
     benchmark(tally_and_blame)
+
+
+def test_bench_vote_tally_and_blame_arrays(benchmark, fabric):
+    """The same 2000-flow tally + Algorithm 1 on the vectorized array engine.
+
+    Compare against ``test_bench_vote_tally_and_blame``: identical output
+    (bit-for-bit), but the support scan and the discounting loop run over a
+    CSR path matrix instead of per-flow contribution lists.
+    """
+    topology, router, _, hosts = fabric
+    link_lists = []
+    for i in range(2000):
+        flow, src, dst = _flow(i, hosts)
+        link_lists.append(router.route(flow, src, dst).links)
+
+    def tally_and_blame_arrays():
+        tally = ArrayVoteTally(index=LinkIndex())
+        for flow_id, links in enumerate(link_lists):
+            tally.add_flow(flow_id, links)
+        return find_problematic_links(tally, BlameConfig())
+
+    benchmark(tally_and_blame_arrays)
+
+
+@pytest.fixture(scope="module")
+def medium_link_lists():
+    """1000 routed flows on a medium fabric (npod=4, n0=24) for the engine duel."""
+    topology = ClosTopology(ClosParameters(npod=4, n0=24, n1=8, n2=8, hosts_per_tor=6))
+    router = EcmpRouter(topology, rng=0)
+    hosts = sorted(topology.hosts)
+    link_lists = []
+    for i in range(1000):
+        flow, src, dst = _flow(i, hosts)
+        link_lists.append(router.route(flow, src, dst).links)
+    return link_lists
+
+
+def test_bench_tally_blame_medium_dicts(benchmark, medium_link_lists):
+    """Dict engine on the medium fabric: the O(links x flows) support scan bites."""
+
+    def tally_and_blame():
+        tally = VoteTally()
+        for flow_id, links in enumerate(medium_link_lists):
+            tally.add_flow(flow_id, links)
+        return find_problematic_links(tally, BlameConfig())
+
+    benchmark.pedantic(tally_and_blame, rounds=3, iterations=1)
+
+
+def test_bench_tally_blame_medium_arrays(benchmark, medium_link_lists):
+    """Array engine on the medium fabric — the acceptance target is >= 5x
+    over ``test_bench_tally_blame_medium_dicts`` (measured ~200x)."""
+
+    def tally_and_blame_arrays():
+        tally = ArrayVoteTally(index=LinkIndex())
+        for flow_id, links in enumerate(medium_link_lists):
+            tally.add_flow(flow_id, links)
+        return find_problematic_links(tally, BlameConfig())
+
+    benchmark.pedantic(tally_and_blame_arrays, rounds=3, iterations=1)
 
 
 def test_bench_traceroute(benchmark, fabric):

@@ -6,16 +6,26 @@ location (server-ToR vs ToR-T1 vs T1-T2).  The aggregator consumes the
 per-epoch :class:`~repro.core.analysis.EpochReport`s the pipeline already
 produces and maintains exactly those summaries, giving operators the
 "heat map over time" view the paper describes.
+
+Internally the aggregator interns links into its own
+:class:`~repro.core.arrays.LinkIndex` and keeps every per-link statistic in a
+dense array.  Reports from the array engine are folded in with pure vector
+operations (their voted ids are translated to the aggregator's ids through a
+cached per-index table); dict-engine reports fall back to a per-link loop over
+``ranked_links``.  Either way the accumulated floats are identical, because
+per-link additions happen in the same epoch order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.analysis import EpochReport
+from repro.core.arrays import LinkIndex
 from repro.topology.elements import DirectedLink, LinkLevel
 from repro.topology.topology import Topology
 
@@ -40,12 +50,65 @@ class LinkHealthRecord:
 class MultiEpochAggregator:
     """Accumulates epoch reports into link-health and fleet-wide summaries."""
 
-    def __init__(self, topology: Optional[Topology] = None) -> None:
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        link_index: Optional[LinkIndex] = None,
+    ) -> None:
         self._topology = topology
-        self._records: Dict[DirectedLink, LinkHealthRecord] = {}
+        self._index = link_index if link_index is not None else LinkIndex()
         self._detections_per_epoch: List[int] = []
         self._max_votes_per_epoch: List[float] = []
         self._epochs_seen: List[int] = []
+        # per-link-id statistics, grown on demand to the index size
+        self._epochs_voted = np.zeros(len(self._index), dtype=np.int64)
+        self._epochs_detected = np.zeros(len(self._index), dtype=np.int64)
+        self._total_votes = np.zeros(len(self._index), dtype=np.float64)
+        self._max_votes = np.zeros(len(self._index), dtype=np.float64)
+        self._last_detected = np.zeros(len(self._index), dtype=np.int64)
+        # translation tables from a foreign LinkIndex to this aggregator's
+        # ids; weak keys so dead per-epoch indexes are not retained forever.
+        self._translations: "weakref.WeakKeyDictionary[LinkIndex, np.ndarray]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        extra = len(self._index) - len(self._epochs_voted)
+        if extra <= 0:
+            return
+        self._epochs_voted = np.concatenate(
+            [self._epochs_voted, np.zeros(extra, dtype=np.int64)]
+        )
+        self._epochs_detected = np.concatenate(
+            [self._epochs_detected, np.zeros(extra, dtype=np.int64)]
+        )
+        self._total_votes = np.concatenate(
+            [self._total_votes, np.zeros(extra, dtype=np.float64)]
+        )
+        self._max_votes = np.concatenate(
+            [self._max_votes, np.zeros(extra, dtype=np.float64)]
+        )
+        self._last_detected = np.concatenate(
+            [self._last_detected, np.zeros(extra, dtype=np.int64)]
+        )
+
+    def _translate(self, foreign: LinkIndex) -> np.ndarray:
+        """Table mapping foreign link ids to this aggregator's ids."""
+        if foreign is self._index:
+            self._grow()
+            return np.arange(len(self._index), dtype=np.int64)
+        table = self._translations.get(foreign)
+        if table is None:
+            table = np.zeros(0, dtype=np.int64)
+        if len(table) < len(foreign):
+            new_ids = [
+                self._index.intern(link) for link in foreign.links[len(table) :]
+            ]
+            table = np.concatenate([table, np.asarray(new_ids, dtype=np.int64)])
+            self._translations[foreign] = table
+            self._grow()
+        return table
 
     # ------------------------------------------------------------------
     def ingest(self, report: EpochReport) -> None:
@@ -55,15 +118,27 @@ class MultiEpochAggregator:
         top_votes = report.ranked_links[0][1] if report.ranked_links else 0.0
         self._max_votes_per_epoch.append(top_votes)
 
-        for link, votes in report.ranked_links:
-            record = self._records.setdefault(link, LinkHealthRecord(link=link))
-            record.epochs_voted += 1
-            record.total_votes += votes
-            record.max_votes = max(record.max_votes, votes)
-        for link in report.detected_links:
-            record = self._records.setdefault(link, LinkHealthRecord(link=link))
-            record.epochs_detected += 1
-            record.last_detected_epoch = report.epoch
+        tally = report.tally
+        if hasattr(tally, "voted_ids"):
+            table = self._translate(tally.index)
+            voted = tally.voted_ids()
+            ids = table[voted]
+            votes = tally.votes_array()[voted]
+            self._epochs_voted[ids] += 1
+            self._total_votes[ids] += votes
+            self._max_votes[ids] = np.maximum(self._max_votes[ids], votes)
+        else:
+            voted_ids = [self._index.intern(link) for link, _ in report.ranked_links]
+            self._grow()
+            for idx, (_, votes) in zip(voted_ids, report.ranked_links):
+                self._epochs_voted[idx] += 1
+                self._total_votes[idx] += votes
+                self._max_votes[idx] = max(self._max_votes[idx], votes)
+        detected_ids = [self._index.intern(link) for link in report.detected_links]
+        self._grow()
+        for idx in detected_ids:
+            self._epochs_detected[idx] += 1
+            self._last_detected[idx] = report.epoch
 
     def ingest_many(self, reports: List[EpochReport]) -> None:
         """Fold several epoch reports in order."""
@@ -76,9 +151,25 @@ class MultiEpochAggregator:
         """Number of epochs aggregated so far."""
         return len(self._epochs_seen)
 
+    def _record_at(self, idx: int) -> LinkHealthRecord:
+        detected = int(self._epochs_detected[idx])
+        return LinkHealthRecord(
+            link=self._index.link_of(idx),
+            epochs_detected=detected,
+            epochs_voted=int(self._epochs_voted[idx]),
+            total_votes=float(self._total_votes[idx]),
+            max_votes=float(self._max_votes[idx]),
+            last_detected_epoch=int(self._last_detected[idx]) if detected else None,
+        )
+
     def record_of(self, link: DirectedLink) -> Optional[LinkHealthRecord]:
-        """The health record of one link (``None`` if it never received votes)."""
-        return self._records.get(link)
+        """The health record of one link (``None`` if it was never seen)."""
+        idx = self._index.get(link)
+        if idx is None or idx >= len(self._epochs_voted):
+            return None
+        if self._epochs_voted[idx] == 0 and self._epochs_detected[idx] == 0:
+            return None
+        return self._record_at(idx)
 
     def recurrent_offenders(self, min_epochs_detected: int = 2) -> List[LinkHealthRecord]:
         """Links detected in at least ``min_epochs_detected`` epochs, worst first.
@@ -87,7 +178,8 @@ class MultiEpochAggregator:
         (reboot / replace) is worth its cost.
         """
         offenders = [
-            r for r in self._records.values() if r.epochs_detected >= min_epochs_detected
+            self._record_at(int(idx))
+            for idx in np.flatnonzero(self._epochs_detected >= min_epochs_detected)
         ]
         return sorted(offenders, key=lambda r: (-r.epochs_detected, -r.total_votes))
 
@@ -119,18 +211,17 @@ class MultiEpochAggregator:
             raise ValueError("a topology is required for the level breakdown")
         counts: Dict[str, int] = {}
         total = 0
-        for record in self._records.values():
-            if record.epochs_detected == 0:
-                continue
-            level = self._topology.link_level(record.link)
+        for idx in np.flatnonzero(self._epochs_detected > 0):
+            detected = int(self._epochs_detected[idx])
+            level = self._topology.link_level(self._index.link_of(int(idx)))
             label = {
                 LinkLevel.HOST: "server-ToR",
                 LinkLevel.LEVEL1: "ToR-T1",
                 LinkLevel.LEVEL2: "T1-T2",
                 LinkLevel.LEVEL3: "T2-T3",
             }[level]
-            counts[label] = counts.get(label, 0) + record.epochs_detected
-            total += record.epochs_detected
+            counts[label] = counts.get(label, 0) + detected
+            total += detected
         if total == 0:
             return {}
         return {label: count / total for label, count in counts.items()}

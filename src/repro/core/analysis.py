@@ -5,12 +5,19 @@ discovered paths of all flows that suffered retransmissions, tallies their
 votes, ranks the links, runs Algorithm 1 to flag problematic links, classifies
 noise drops, and attributes a most-likely culprit link to every failure-drop
 flow.  The result is an :class:`EpochReport`.
+
+Two interchangeable engines back the agent: ``"arrays"`` (the default) runs
+the vectorized pipeline of :mod:`repro.core.arrays` over a persistent
+:class:`~repro.core.arrays.LinkIndex`, while ``"dicts"`` runs the original
+pure-Python tally and serves as the reference oracle.  Both produce identical
+reports — same detections, same deterministic tie-breaks, same floats.
 """
 
 from __future__ import annotations
 
+import numpy as np
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 from repro.core.blame import BlameConfig, BlameResult, find_problematic_links
 from repro.core.noise import NoiseClassification, classify_noise_flows
@@ -18,6 +25,8 @@ from repro.core.ranking import attribute_flow_causes, rank_links
 from repro.core.votes import VotePolicy, VoteTally
 from repro.discovery.agent import DiscoveredPath
 from repro.topology.elements import DirectedLink
+
+EngineKind = Literal["dicts", "arrays"]
 
 
 @dataclass
@@ -64,10 +73,18 @@ class AnalysisAgent:
         blame_config: Optional[BlameConfig] = None,
         vote_policy: VotePolicy = "inverse_hops",
         attribute_noise_flows: bool = False,
+        engine: EngineKind = "arrays",
+        link_index=None,
     ) -> None:
+        if engine not in ("dicts", "arrays"):
+            raise ValueError(f"unknown analysis engine {engine!r}")
         self._blame_config = blame_config or BlameConfig()
         self._vote_policy: VotePolicy = vote_policy
         self._attribute_noise_flows = attribute_noise_flows
+        self._engine: EngineKind = engine
+        #: persistent link interner shared across epochs (arrays engine only),
+        #: so link ids are stable for multi-epoch aggregation.
+        self._link_index = link_index
 
     # ------------------------------------------------------------------
     @property
@@ -75,10 +92,18 @@ class AnalysisAgent:
         """The Algorithm 1 configuration used for every epoch."""
         return self._blame_config
 
+    @property
+    def engine(self) -> EngineKind:
+        """Which tally/blame implementation this agent runs."""
+        return self._engine
+
     def analyze_epoch(
         self, epoch: int, paths: Sequence[DiscoveredPath]
     ) -> EpochReport:
         """Analyse one epoch's worth of discovered paths."""
+        if self._engine == "arrays":
+            return self._analyze_epoch_arrays(epoch, paths)
+
         tally = VoteTally(policy=self._vote_policy)
         tally.add_discovered_paths(paths)
 
@@ -95,6 +120,50 @@ class AnalysisAgent:
             epoch=epoch,
             tally=tally,
             ranked_links=rank_links(tally),
+            blame=blame,
+            flow_causes=flow_causes,
+            noise=noise,
+            num_paths_analyzed=len(paths),
+        )
+
+    def _analyze_epoch_arrays(
+        self, epoch: int, paths: Sequence[DiscoveredPath]
+    ) -> EpochReport:
+        """The vectorized epoch analysis (bit-identical to the dict path)."""
+        from repro.core.arrays import (
+            ArrayVoteTally,
+            LinkIndex,
+            attribute_flow_causes_arrays,
+            classify_noise_flows_arrays,
+            find_problematic_links_arrays,
+        )
+
+        if self._link_index is None:
+            self._link_index = LinkIndex()
+        tally = ArrayVoteTally(policy=self._vote_policy, index=self._link_index)
+        tally.add_discovered_paths(paths)
+
+        blame = find_problematic_links_arrays(tally, self._blame_config)
+        noise = classify_noise_flows_arrays(tally, blame.detected_links)
+
+        if self._attribute_noise_flows:
+            rows = np.arange(tally.num_flows, dtype=np.int64)
+        elif noise.failure_flows:
+            # membership by flow id, not by per-row failure mask: a flow id
+            # appearing in several rows keeps every one of its rows (and thus
+            # the same last-row-wins cause) exactly like the dict engine.
+            failure_ids = np.fromiter(
+                noise.failure_flows, dtype=np.int64, count=len(noise.failure_flows)
+            )
+            rows = np.flatnonzero(np.isin(tally.flow_ids_array(), failure_ids))
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        flow_causes = attribute_flow_causes_arrays(tally, rows)
+
+        return EpochReport(
+            epoch=epoch,
+            tally=tally,
+            ranked_links=tally.items(),
             blame=blame,
             flow_causes=flow_causes,
             noise=noise,

@@ -1,0 +1,532 @@
+"""NumPy-backed analysis engine: interned links, CSR path matrices, array Algorithm 1.
+
+The dict-based reference engine (:mod:`repro.core.votes`, :mod:`repro.core.blame`)
+keys every tally on :class:`~repro.topology.elements.DirectedLink` objects and
+re-scans the per-flow ``VoteContribution`` lists inside Algorithm 1, which makes
+the per-epoch analysis the dominant cost at large fabric sizes.  This module is
+its vectorized twin:
+
+* :class:`ItemIndex` / :class:`LinkIndex` intern hashable items (links, switch
+  names) to dense integer ids so per-link state lives in flat arrays;
+* :class:`ArrayVoteTally` stores an epoch's discovered paths as a CSR matrix
+  (``indptr``/``cols``/``weights``) and computes the vote tally *and* the
+  per-link distinct-flow support in one :func:`numpy.bincount` pass;
+* :func:`find_problematic_links_arrays` runs Algorithm 1 as argmax + masked
+  per-row discounting over the CSR rows instead of re-scanning contribution
+  lists;
+* helpers vectorize ranking, per-flow culprit attribution and noise
+  classification over the same matrix.
+
+Every function is bit-compatible with the dict engine: votes are accumulated in
+the same traversal order (``numpy.bincount`` adds weights sequentially, exactly
+like the dict fold), totals are summed in first-seen link order, and ties break
+on the same lexicographic link ordering — so the two engines produce identical
+detections, rankings, flow causes and thresholds, and the dict engine remains
+the reference oracle in the equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.blame import BlameConfig, BlameResult
+from repro.core.noise import NoiseClassification
+from repro.core.votes import VoteContribution, VotePolicy
+from repro.discovery.agent import DiscoveredPath
+from repro.topology.elements import DirectedLink
+
+
+class ItemIndex:
+    """Interns hashable, orderable items to dense integer ids.
+
+    Ids are assigned in first-intern order; :meth:`sort_ranks` provides the
+    rank of each id under the items' natural ordering, which the blame kernel
+    uses for the deterministic "smallest item wins" tie-break.
+    """
+
+    def __init__(self, items: Iterable = ()) -> None:
+        self._items: List = []
+        self._ids: Dict[object, int] = {}
+        self._ranks: Optional[np.ndarray] = None
+        for item in items:
+            self.intern(item)
+
+    # ------------------------------------------------------------------
+    def intern(self, item) -> int:
+        """Return the id of ``item``, assigning the next free id if new."""
+        idx = self._ids.get(item)
+        if idx is None:
+            idx = len(self._items)
+            self._ids[item] = idx
+            self._items.append(item)
+            self._ranks = None
+        return idx
+
+    def id_of(self, item) -> int:
+        """The id of an already-interned item (raises ``KeyError`` if unknown)."""
+        return self._ids[item]
+
+    def get(self, item) -> Optional[int]:
+        """The id of ``item`` or ``None`` when it was never interned."""
+        return self._ids.get(item)
+
+    def item_of(self, idx: int):
+        """The item with id ``idx``."""
+        return self._items[idx]
+
+    @property
+    def items(self) -> List:
+        """All interned items in id order (live list — do not mutate)."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item) -> bool:
+        return item in self._ids
+
+    def sort_ranks(self) -> np.ndarray:
+        """``ranks[id]`` = position of the item in the sorted item order."""
+        if self._ranks is None or len(self._ranks) != len(self._items):
+            order = sorted(range(len(self._items)), key=self._items.__getitem__)
+            ranks = np.empty(len(self._items), dtype=np.int64)
+            ranks[np.asarray(order, dtype=np.int64)] = np.arange(
+                len(self._items), dtype=np.int64
+            )
+            self._ranks = ranks
+        return self._ranks
+
+
+class LinkIndex(ItemIndex):
+    """An :class:`ItemIndex` specialised to :class:`DirectedLink` objects."""
+
+    @classmethod
+    def from_topology(cls, topology) -> "LinkIndex":
+        """Pre-populate the index with every directed link of a topology.
+
+        Links are interned in sorted order so ids coincide with sort ranks.
+        """
+        return cls(sorted(topology.directed_links()))
+
+    def link_of(self, idx: int) -> DirectedLink:
+        """The link with id ``idx``."""
+        return self._items[idx]
+
+    @property
+    def links(self) -> List[DirectedLink]:
+        """All interned links in id order (live list — do not mutate)."""
+        return self._items
+
+
+class ArrayVoteTally:
+    """A drop-in, array-backed replacement for :class:`~repro.core.votes.VoteTally`.
+
+    Paths are stored as a CSR matrix over a :class:`LinkIndex`: ``cols`` holds
+    the interned link ids of every path back to back, ``indptr`` delimits the
+    rows (flows), and ``weights`` holds each flow's per-link vote value.  The
+    vote tally, the per-link distinct-flow support, rankings and totals are all
+    computed lazily from those arrays and bit-match the dict engine.
+    """
+
+    def __init__(
+        self,
+        policy: VotePolicy = "inverse_hops",
+        index: Optional[LinkIndex] = None,
+    ) -> None:
+        if policy not in ("inverse_hops", "unit"):
+            raise ValueError(f"unknown vote policy {policy!r}")
+        self._policy: VotePolicy = policy
+        self._index = index if index is not None else LinkIndex()
+        self._cols: List[int] = []
+        self._indptr: List[int] = [0]
+        self._weights: List[float] = []
+        self._flow_ids: List[int] = []
+        self._retransmissions: List[int] = []
+        self._first_seen: List[int] = []  # voted link ids, first-vote order
+        self._voted: set = set()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._arrays: Optional[Tuple[np.ndarray, ...]] = None
+        self._items_cache: Optional[List[Tuple[DirectedLink, float]]] = None
+        self._rank_cache: Optional[Dict[DirectedLink, int]] = None
+        self._contributions_cache: Optional[List[VoteContribution]] = None
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def add_flow(
+        self,
+        flow_id: int,
+        links: Sequence[DirectedLink],
+        retransmissions: int = 1,
+    ) -> VoteContribution:
+        """Record the votes of one flow that suffered retransmissions."""
+        if not links:
+            raise ValueError("a voting flow must have at least one known link")
+        weight = 1.0 if self._policy == "unit" else 1.0 / len(links)
+        intern = self._index.intern
+        for link in links:
+            lid = intern(link)
+            self._cols.append(lid)
+            if lid not in self._voted:
+                self._voted.add(lid)
+                self._first_seen.append(lid)
+        self._indptr.append(len(self._cols))
+        self._weights.append(weight)
+        self._flow_ids.append(flow_id)
+        self._retransmissions.append(retransmissions)
+        self._invalidate()
+        return VoteContribution(
+            flow_id=flow_id,
+            links=tuple(links),
+            weight=weight,
+            retransmissions=retransmissions,
+        )
+
+    def add_discovered_path(self, path: DiscoveredPath) -> VoteContribution:
+        """Record the votes of a flow from its discovered (possibly partial) path."""
+        return self.add_flow(
+            flow_id=path.flow_id,
+            links=path.links,
+            retransmissions=path.retransmissions,
+        )
+
+    def add_discovered_paths(self, paths: Iterable[DiscoveredPath]) -> None:
+        """Record votes for many discovered paths."""
+        for path in paths:
+            self.add_discovered_path(path)
+
+    # ------------------------------------------------------------------
+    # array views
+    # ------------------------------------------------------------------
+    def _finalized(self) -> Tuple[np.ndarray, ...]:
+        if self._arrays is None:
+            n = len(self._index)
+            cols = np.asarray(self._cols, dtype=np.int64)
+            indptr = np.asarray(self._indptr, dtype=np.int64)
+            weights = np.asarray(self._weights, dtype=np.float64)
+            lengths = np.diff(indptr)
+            # bincount adds weights sequentially in input order — the same
+            # fold order as the dict tally, so votes are bit-identical.
+            votes = np.bincount(
+                cols, weights=np.repeat(weights, lengths), minlength=n
+            )
+            rows = np.repeat(np.arange(len(weights), dtype=np.int64), lengths)
+            # distinct (flow, link) pairs -> per-link flow support
+            pair_keys = np.unique(rows * np.int64(max(n, 1)) + cols)
+            support = np.bincount(pair_keys % np.int64(max(n, 1)), minlength=n)
+            self._arrays = (cols, indptr, weights, votes, support)
+        return self._arrays
+
+    @property
+    def index(self) -> LinkIndex:
+        """The link interner backing this tally."""
+        return self._index
+
+    def votes_array(self) -> np.ndarray:
+        """Votes per link id (length = size of the index at finalize time)."""
+        return self._finalized()[3]
+
+    def support_array(self) -> np.ndarray:
+        """Distinct voting flows per link id."""
+        return self._finalized()[4]
+
+    def path_matrix(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The CSR rows: ``(indptr, cols, weights)``."""
+        cols, indptr, weights, _, _ = self._finalized()
+        return indptr, cols, weights
+
+    def voted_ids(self) -> np.ndarray:
+        """Ids of links with at least one vote, in first-vote order."""
+        return np.asarray(self._first_seen, dtype=np.int64)
+
+    def flow_ids_array(self) -> np.ndarray:
+        """Flow ids per row."""
+        return np.asarray(self._flow_ids, dtype=np.int64)
+
+    def retransmissions_array(self) -> np.ndarray:
+        """Retransmission counts per row."""
+        return np.asarray(self._retransmissions, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # queries (the VoteTally API)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> VotePolicy:
+        """The vote-value policy in use."""
+        return self._policy
+
+    def votes_of(self, link: DirectedLink) -> float:
+        """Current vote tally of ``link`` (0 for links never voted for)."""
+        lid = self._index.get(link)
+        if lid is None or lid not in self._voted:
+            return 0.0
+        return float(self.votes_array()[lid])
+
+    def support_of(self, link: DirectedLink) -> int:
+        """Number of distinct flows that voted for ``link``."""
+        lid = self._index.get(link)
+        if lid is None or lid not in self._voted:
+            return 0
+        return int(self.support_array()[lid])
+
+    def total_votes(self) -> float:
+        """Sum of all votes cast (same fold order as the dict engine)."""
+        votes = self.votes_array()
+        return float(sum(votes[self.voted_ids()].tolist()))
+
+    def links(self) -> List[DirectedLink]:
+        """Links with at least one vote, sorted."""
+        link_of = self._index.link_of
+        return sorted(link_of(lid) for lid in self._first_seen)
+
+    def items(self) -> List[Tuple[DirectedLink, float]]:
+        """``(link, votes)`` pairs sorted by decreasing votes, ties by link order."""
+        if self._items_cache is None:
+            votes = self.votes_array()
+            link_of = self._index.link_of
+            pairs = [(link_of(lid), float(votes[lid])) for lid in self._first_seen]
+            pairs.sort(key=lambda kv: (-kv[1], kv[0]))
+            self._items_cache = pairs
+        return list(self._items_cache)
+
+    def as_dict(self) -> Dict[DirectedLink, float]:
+        """A copy of the tally, keyed by link in first-vote order."""
+        votes = self.votes_array()
+        link_of = self._index.link_of
+        return {link_of(lid): float(votes[lid]) for lid in self._first_seen}
+
+    @property
+    def contributions(self) -> List[VoteContribution]:
+        """Per-flow contributions, rebuilt from the CSR rows on demand."""
+        if self._contributions_cache is None:
+            link_of = self._index.link_of
+            out: List[VoteContribution] = []
+            for row in range(len(self._weights)):
+                start, stop = self._indptr[row], self._indptr[row + 1]
+                out.append(
+                    VoteContribution(
+                        flow_id=self._flow_ids[row],
+                        links=tuple(link_of(c) for c in self._cols[start:stop]),
+                        weight=self._weights[row],
+                        retransmissions=self._retransmissions[row],
+                    )
+                )
+            self._contributions_cache = out
+        return list(self._contributions_cache)
+
+    @property
+    def num_flows(self) -> int:
+        """Number of flows that cast votes."""
+        return len(self._weights)
+
+    def top(self, n: int = 1) -> List[Tuple[DirectedLink, float]]:
+        """The ``n`` most voted links."""
+        return self.items()[:n]
+
+    def max_link(self) -> Optional[DirectedLink]:
+        """The single most voted link (``None`` when no votes were cast)."""
+        items = self.items()
+        return items[0][0] if items else None
+
+    def rank_of(self, link: DirectedLink) -> Optional[int]:
+        """1-based rank of ``link`` in :meth:`items` (``None`` when unvoted)."""
+        if self._rank_cache is None:
+            self._rank_cache = {
+                candidate: position
+                for position, (candidate, _) in enumerate(self.items(), start=1)
+            }
+        return self._rank_cache.get(link)
+
+    def copy(self) -> "ArrayVoteTally":
+        """A copy of the tally sharing the link index."""
+        clone = ArrayVoteTally(policy=self._policy, index=self._index)
+        clone._cols = list(self._cols)
+        clone._indptr = list(self._indptr)
+        clone._weights = list(self._weights)
+        clone._flow_ids = list(self._flow_ids)
+        clone._retransmissions = list(self._retransmissions)
+        clone._first_seen = list(self._first_seen)
+        clone._voted = set(self._voted)
+        return clone
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 over arrays
+# ----------------------------------------------------------------------
+def blame_kernel(
+    votes: np.ndarray,
+    indptr: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    eligible: np.ndarray,
+    sort_ranks: np.ndarray,
+    threshold_votes: float,
+    config: BlameConfig,
+) -> Tuple[List[int], List[float], np.ndarray]:
+    """The argmax + masked-discounting loop shared by link and switch blame.
+
+    Returns ``(detected_ids, votes_at_detection, final_votes)``.  The input
+    ``votes`` array is not modified.  Discounting walks only the CSR rows that
+    contain the blamed id, in row order, so the clamped subtraction sequence —
+    and therefore every float — matches the dict engine's contribution scan.
+    """
+    votes = votes.copy()
+    num_items = len(votes)
+    num_rows = len(indptr) - 1
+    blamed = np.zeros(num_items, dtype=bool)
+    alive = np.ones(num_rows, dtype=bool)
+    detected: List[int] = []
+    votes_at: List[float] = []
+    # CSC-style lookup (rows containing a given id, ascending); built lazily
+    # on the first detection since most epochs detect nothing.
+    sorted_cols: Optional[np.ndarray] = None
+    rows_by_col: Optional[np.ndarray] = None
+
+    while len(detected) < config.max_links:
+        candidate = eligible & ~blamed
+        if not candidate.any():
+            break
+        masked = np.where(candidate, votes, -np.inf)
+        vmax = float(masked.max())
+        if vmax < threshold_votes or vmax <= 0.0:
+            break
+        tied = np.flatnonzero(masked == vmax)
+        best = int(tied[np.argmin(sort_ranks[tied])]) if len(tied) > 1 else int(tied[0])
+        blamed[best] = True
+        detected.append(best)
+        votes_at.append(vmax)
+
+        if config.adjustment == "paths":
+            if sorted_cols is None:
+                lengths = np.diff(indptr)
+                row_of_pos = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+                order = np.argsort(cols, kind="stable")
+                sorted_cols = cols[order]
+                rows_by_col = row_of_pos[order]
+            lo = np.searchsorted(sorted_cols, best, side="left")
+            hi = np.searchsorted(sorted_cols, best, side="right")
+            for row in rows_by_col[lo:hi]:
+                if not alive[row]:
+                    continue
+                row_cols = cols[indptr[row] : indptr[row + 1]]
+                others = row_cols[row_cols != best]
+                if len(np.unique(others)) == len(others):
+                    votes[others] = np.maximum(0.0, votes[others] - weights[row])
+                else:
+                    # a link repeated within one path must be discounted once
+                    # per occurrence, clamping in between, like the dict scan
+                    for col in others:
+                        votes[col] = max(0.0, votes[col] - weights[row])
+                alive[row] = False
+    return detected, votes_at, votes
+
+
+def find_problematic_links_arrays(
+    tally: ArrayVoteTally, config: Optional[BlameConfig] = None
+) -> BlameResult:
+    """Algorithm 1 over an :class:`ArrayVoteTally` (see :mod:`repro.core.blame`)."""
+    config = config or BlameConfig()
+    total_votes = tally.total_votes()
+    result = BlameResult(threshold_votes=config.threshold_fraction * total_votes)
+    if total_votes <= 0.0:
+        return result
+
+    votes = tally.votes_array()
+    support = tally.support_array()
+    indptr, cols, weights = tally.path_matrix()
+    eligible = support >= config.min_flow_support
+    detected, votes_at, final = blame_kernel(
+        votes,
+        indptr,
+        cols,
+        weights,
+        eligible,
+        tally.index.sort_ranks(),
+        result.threshold_votes,
+        config,
+    )
+    link_of = tally.index.link_of
+    result.detected_links = [link_of(lid) for lid in detected]
+    result.votes_at_detection = {
+        link_of(lid): v for lid, v in zip(detected, votes_at)
+    }
+    result.final_votes = {
+        link_of(lid): float(final[lid]) for lid in tally.voted_ids()
+    }
+    return result
+
+
+# ----------------------------------------------------------------------
+# vectorized ranking, attribution and noise classification
+# ----------------------------------------------------------------------
+def attribute_flow_causes_arrays(
+    tally: ArrayVoteTally, rows: np.ndarray
+) -> Dict[int, DirectedLink]:
+    """Per-flow culprit attribution for the given rows of the path matrix.
+
+    For each selected flow the most voted link on its own path wins; ties go to
+    the smallest link, matching the dict engine's ``max(sorted(links), ...)``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return {}
+    indptr, cols, _ = tally.path_matrix()
+    votes = tally.votes_array()
+    ranks = tally.index.sort_ranks()
+    flow_ids = tally.flow_ids_array()
+
+    lengths = (indptr[rows + 1] - indptr[rows]).astype(np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    # flat positions of every (row, hop) pair of the selected rows
+    flat = np.repeat(indptr[rows], lengths) + (
+        np.arange(offsets[-1], dtype=np.int64) - np.repeat(offsets[:-1], lengths)
+    )
+    seg_cols = cols[flat]
+    seg_votes = votes[seg_cols]
+    seg_max = np.maximum.reduceat(seg_votes, offsets[:-1])
+    is_max = seg_votes == np.repeat(seg_max, lengths)
+    seg_ranks = np.where(is_max, ranks[seg_cols], np.iinfo(np.int64).max)
+    best_rank = np.minimum.reduceat(seg_ranks, offsets[:-1])
+
+    # map the winning rank back to its link id
+    rank_to_id = np.empty(len(ranks), dtype=np.int64)
+    rank_to_id[ranks] = np.arange(len(ranks), dtype=np.int64)
+    best_ids = rank_to_id[best_rank]
+
+    link_of = tally.index.link_of
+    return {
+        int(flow_ids[row]): link_of(int(lid)) for row, lid in zip(rows, best_ids)
+    }
+
+
+def classify_noise_flows_arrays(
+    tally: ArrayVoteTally,
+    detected_links: Sequence[DirectedLink],
+    max_noise_retransmissions: int = 1,
+) -> NoiseClassification:
+    """Vectorized twin of :func:`repro.core.noise.classify_noise_flows`."""
+    indptr, cols, _ = tally.path_matrix()
+    num_rows = len(indptr) - 1
+    flow_ids = tally.flow_ids_array()
+    retrans = tally.retransmissions_array()
+
+    detected_mask = np.zeros(max(len(tally.index), 1), dtype=bool)
+    for link in detected_links:
+        lid = tally.index.get(link)
+        if lid is not None:
+            detected_mask[lid] = True
+
+    if num_rows:
+        hit = detected_mask[cols].astype(np.int64)
+        touches = np.maximum.reduceat(hit, indptr[:-1]).astype(bool)
+    else:
+        touches = np.zeros(0, dtype=bool)
+    failure = touches | (retrans > max_noise_retransmissions)
+    return NoiseClassification(
+        noise_flows=frozenset(flow_ids[~failure].tolist()),
+        failure_flows=frozenset(flow_ids[failure].tolist()),
+    )

@@ -62,6 +62,15 @@ class BlameResult:
     threshold_votes: float = 0.0
     #: remaining adjusted tally when the algorithm stopped.
     final_votes: Dict[DirectedLink, float] = field(default_factory=dict)
+    #: membership cache for ``in`` checks; invalidated when detected_links
+    #: grows or is rebound.  (In-place same-length element replacement is not
+    #: detected — detected_links is treated as append-only or replaced whole.)
+    _detected_set: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _detected_set_key: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_detected(self) -> int:
@@ -69,7 +78,11 @@ class BlameResult:
         return len(self.detected_links)
 
     def __contains__(self, link: DirectedLink) -> bool:
-        return link in set(self.detected_links)
+        key = (id(self.detected_links), len(self.detected_links))
+        if self._detected_set is None or self._detected_set_key != key:
+            self._detected_set = frozenset(self.detected_links)
+            self._detected_set_key = key
+        return link in self._detected_set
 
 
 def find_problematic_links(
@@ -78,9 +91,15 @@ def find_problematic_links(
     """Run Algorithm 1 over an epoch's vote tally.
 
     The input tally is not modified; the adjustment operates on working
-    copies of the vote counts.
+    copies of the vote counts.  Array-backed tallies
+    (:class:`~repro.core.arrays.ArrayVoteTally`) are dispatched to the
+    vectorized kernel, which produces bit-identical results.
     """
     config = config or BlameConfig()
+    if hasattr(tally, "votes_array"):
+        from repro.core.arrays import find_problematic_links_arrays
+
+        return find_problematic_links_arrays(tally, config)
     total_votes = tally.total_votes()
     result = BlameResult(threshold_votes=config.threshold_fraction * total_votes)
     if total_votes <= 0.0:

@@ -10,10 +10,10 @@ problematic-link reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.analysis import AnalysisAgent, EpochReport
+from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
 from repro.core.blame import BlameConfig
 from repro.core.votes import VotePolicy
 from repro.discovery.agent import PathDiscoveryAgent, PathDiscoveryConfig
@@ -45,6 +45,9 @@ class SystemConfig:
     #: whether traceroute probes are themselves subject to packet loss.
     traceroute_probe_loss: bool = True
     use_slb: bool = True
+    #: analysis engine: ``"arrays"`` (vectorized, default) or ``"dicts"``
+    #: (the pure-Python reference; both produce identical reports).
+    engine: EngineKind = "arrays"
 
 
 class Zero07System:
@@ -73,7 +76,17 @@ class Zero07System:
         rng: RngLike = 0,
     ) -> None:
         self._topology = topology
-        self._config = config or SystemConfig()
+        # Copy the caller's config instead of aliasing it: the constructor
+        # derives simulation.epoch_duration_s from epoch_duration_s, and two
+        # systems sharing one SimulationConfig instance must not see each
+        # other's (or the caller's later) mutations.
+        config = config or SystemConfig()
+        self._config = replace(
+            config,
+            simulation=replace(
+                config.simulation, epoch_duration_s=config.epoch_duration_s
+            ),
+        )
         base_rng = ensure_rng(rng)
 
         self.link_table = link_table or LinkStateTable(topology, rng=spawn_rng(rng, 1))
@@ -82,7 +95,6 @@ class Zero07System:
             SoftwareLoadBalancer(rng=spawn_rng(rng, 3)) if self._config.use_slb else None
         )
 
-        self._config.simulation.epoch_duration_s = self._config.epoch_duration_s
         self.simulator = EpochSimulator(
             topology=topology,
             router=self.router,
@@ -120,7 +132,9 @@ class Zero07System:
         self.simulator.subscribe(self.monitoring.handle_event)
 
         self.analysis = AnalysisAgent(
-            blame_config=self._config.blame, vote_policy=self._config.vote_policy
+            blame_config=self._config.blame,
+            vote_policy=self._config.vote_policy,
+            engine=self._config.engine,
         )
         self._base_rng = base_rng
 

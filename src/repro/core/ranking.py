@@ -63,7 +63,14 @@ def vote_gap(
 
 
 def rank_of_link(tally: VoteTally, link: DirectedLink) -> Optional[int]:
-    """1-based rank of ``link`` in the tally (``None`` when it has no votes)."""
+    """1-based rank of ``link`` in the tally (``None`` when it has no votes).
+
+    Delegates to the tally's cached position map (:meth:`VoteTally.rank_of`)
+    instead of re-sorting the full tally on every call.
+    """
+    rank_of = getattr(tally, "rank_of", None)
+    if rank_of is not None:
+        return rank_of(link)
     for position, (candidate, _) in enumerate(tally.items(), start=1):
         if candidate == link:
             return position

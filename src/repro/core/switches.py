@@ -5,12 +5,20 @@ the operator detect a misbehaving device (e.g. a ToR silently corrupting
 packets on many of its ports) rather than a single cable.  A flow's vote is
 split across the switches its path visits, and the same threshold/adjustment
 loop of Algorithm 1 flags problematic switches.
+
+:func:`find_problematic_switches` defaults to the vectorized kernel shared
+with the link engine (:func:`repro.core.arrays.blame_kernel`), interning
+switch names through an :class:`~repro.core.arrays.ItemIndex`; the original
+dict loop is kept as the ``engine="dicts"`` reference and both produce
+identical detections.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
+
+import numpy as np
 
 from repro.core.blame import BlameConfig
 from repro.core.votes import VoteTally
@@ -72,10 +80,19 @@ def build_switch_tally(
 
 
 def find_problematic_switches(
-    tally: SwitchVoteTally, config: Optional[BlameConfig] = None
+    tally: SwitchVoteTally,
+    config: Optional[BlameConfig] = None,
+    engine: Literal["dicts", "arrays"] = "arrays",
 ) -> List[str]:
     """Algorithm 1 applied to switches instead of links."""
+    if engine not in ("dicts", "arrays"):
+        raise ValueError(f"unknown blame engine {engine!r}")
     config = config or BlameConfig()
+    # The array kernel rebuilds votes from the contributions; a tally whose
+    # public votes dict was populated by hand (no contributions) only the
+    # dict loop can serve.
+    if engine == "arrays" and not (tally.votes and not tally.contributions):
+        return _find_problematic_switches_arrays(tally, config)
     total = tally.total_votes()
     if total <= 0.0:
         return []
@@ -105,6 +122,46 @@ def find_problematic_switches(
                         votes[switch] = max(0.0, votes.get(switch, 0.0) - weight)
             remaining = survivors
     return detected
+
+
+def _find_problematic_switches_arrays(
+    tally: SwitchVoteTally, config: BlameConfig
+) -> List[str]:
+    """The switch blame loop on the vectorized kernel (bit-identical)."""
+    from repro.core.arrays import ItemIndex, blame_kernel
+
+    index = ItemIndex()
+    cols: List[int] = []
+    indptr: List[int] = [0]
+    weights: List[float] = []
+    for _, switches, weight in tally.contributions:
+        cols.extend(index.intern(switch) for switch in switches)
+        indptr.append(len(cols))
+        weights.append(weight)
+
+    votes = np.bincount(
+        np.asarray(cols, dtype=np.int64),
+        weights=np.repeat(
+            np.asarray(weights, dtype=np.float64),
+            np.diff(np.asarray(indptr, dtype=np.int64)),
+        ),
+        minlength=len(index),
+    )
+    # same left fold as float(sum(dict.values())) over first-interned order
+    total = float(sum(votes.tolist()))
+    if total <= 0.0:
+        return []
+    detected, _, _ = blame_kernel(
+        votes,
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+        np.ones(len(index), dtype=bool),
+        index.sort_ranks(),
+        config.threshold_fraction * total,
+        config,
+    )
+    return [index.item_of(sid) for sid in detected]
 
 
 def link_tally_to_switch_votes(

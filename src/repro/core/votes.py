@@ -50,6 +50,8 @@ class VoteTally:
         self._policy: VotePolicy = policy
         self._votes: Dict[DirectedLink, float] = {}
         self._contributions: List[VoteContribution] = []
+        self._items_cache: Optional[List[Tuple[DirectedLink, float]]] = None
+        self._rank_cache: Optional[Dict[DirectedLink, int]] = None
 
     # ------------------------------------------------------------------
     # accumulation
@@ -73,6 +75,8 @@ class VoteTally:
         for link in links:
             self._votes[link] = self._votes.get(link, 0.0) + weight
         self._contributions.append(contribution)
+        self._items_cache = None
+        self._rank_cache = None
         return contribution
 
     def add_discovered_path(self, path: DiscoveredPath) -> VoteContribution:
@@ -113,8 +117,16 @@ class VoteTally:
         return sorted(self._votes)
 
     def items(self) -> List[Tuple[DirectedLink, float]]:
-        """``(link, votes)`` pairs sorted by decreasing votes, ties by link order."""
-        return sorted(self._votes.items(), key=lambda kv: (-kv[1], kv[0]))
+        """``(link, votes)`` pairs sorted by decreasing votes, ties by link order.
+
+        The sorted order is cached until the next :meth:`add_flow`, so ranking
+        queries after the tally is complete cost a copy, not a sort.
+        """
+        if self._items_cache is None:
+            self._items_cache = sorted(
+                self._votes.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return list(self._items_cache)
 
     def as_dict(self) -> Dict[DirectedLink, float]:
         """A copy of the tally."""
@@ -138,6 +150,19 @@ class VoteTally:
         """The single most voted link (``None`` when no votes were cast)."""
         items = self.items()
         return items[0][0] if items else None
+
+    def rank_of(self, link: DirectedLink) -> Optional[int]:
+        """1-based rank of ``link`` in :meth:`items` (``None`` when unvoted).
+
+        Backed by a position map built once per tally state, so repeated rank
+        queries (Figure 13 computes one per trial) do not re-sort the tally.
+        """
+        if self._rank_cache is None:
+            self._rank_cache = {
+                candidate: position
+                for position, (candidate, _) in enumerate(self.items(), start=1)
+            }
+        return self._rank_cache.get(link)
 
     def copy(self) -> "VoteTally":
         """A deep copy of the tally (Algorithm 1 adjusts a copy)."""

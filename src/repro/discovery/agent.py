@@ -4,16 +4,21 @@ Upon a retransmission notification the agent (one logical instance per host;
 this class keeps per-host state internally so a single object can serve a
 whole simulation) decides whether to trace the flow:
 
-* at most once per flow per epoch (a per-epoch path cache),
-* at most ``Ct`` traceroutes per host per second (Theorem 1's bound, so the
-  per-switch ICMP budget ``Tmax`` is never exceeded),
+* at most once per flow per epoch (a per-epoch path cache, which also
+  remembers traces that discovered nothing so retransmitting flows don't
+  drain the budget re-tracing),
 * only if the VIP -> DIP mapping can be resolved (otherwise we might
-  traceroute the Internet), and
+  traceroute the Internet; a failed lookup sends no trace and costs no
+  budget),
+* at most ``Ct`` traceroutes per host per second (Theorem 1's bound, so the
+  per-switch ICMP budget ``Tmax`` is never exceeded; fractional ``Ct``
+  rounds up with a floor of one), and
 * never for flows whose connection establishment itself failed.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -36,8 +41,25 @@ class PathDiscoveryConfig:
 
     @property
     def per_epoch_budget(self) -> int:
-        """Maximum traceroutes one host may start within an epoch."""
-        return int(self.max_traceroutes_per_host_per_second * self.epoch_duration_s)
+        """Maximum traceroutes one host may start within an epoch.
+
+        Ceiling semantics with a floor of one: a sub-1-per-epoch rate
+        (``Ct * epoch_duration_s < 1``) must still allow a single trace, not
+        truncate to a budget of zero and rate-limit every traceroute.
+        """
+        return max(
+            1,
+            math.ceil(self.max_traceroutes_per_host_per_second * self.epoch_duration_s),
+        )
+
+    @property
+    def per_second_cap(self) -> int:
+        """Maximum traceroutes one host may start within one second.
+
+        Fractional ``Ct`` rounds up (a cap is a permission, not a quota), with
+        a floor of one so a tiny rate never blocks tracing entirely.
+        """
+        return max(1, math.ceil(self.max_traceroutes_per_host_per_second))
 
 
 @dataclass
@@ -83,7 +105,12 @@ class PathDiscoveryAgent:
         self._traceroute = traceroute
         self._slb = slb
         self._config = config or PathDiscoveryConfig()
-        self._cache: Dict[Tuple, DiscoveredPath] = {}
+        #: per-epoch path cache; ``None`` records a trace that discovered no
+        #: links, so later retransmissions of the flow don't re-trace it.
+        #: Deliberate trade-off: under lossy probes a transiently empty trace
+        #: suppresses the flow's votes until the next epoch, in exchange for
+        #: retransmission storms not draining the host budget on re-traces.
+        self._cache: Dict[Tuple, Optional[DiscoveredPath]] = {}
         self._per_host_counts: Dict[str, int] = defaultdict(int)
         self._per_host_second_counts: Dict[Tuple[str, int], int] = defaultdict(int)
         self._current_epoch: Optional[int] = None
@@ -115,13 +142,17 @@ class PathDiscoveryAgent:
         self.stats.triggered += 1
 
         cache_key = event.five_tuple.canonical_key()
-        cached = self._cache.get(cache_key)
-        if cached is not None:
+        if cache_key in self._cache:
+            cached = self._cache[cache_key]
             self.stats.served_from_cache += 1
-            cached.retransmissions += event.retransmissions
+            if cached is not None:
+                cached.retransmissions += event.retransmissions
             return cached
 
-        if not self._consume_budget(event.src_host, event.timestamp):
+        # Peek at the budget first (an exhausted host shouldn't even query the
+        # SLB), but only *charge* it once a trace is actually sent: a failed
+        # VIP->DIP lookup sends no traceroute and must not burn trace budget.
+        if not self._has_budget(event.src_host, event.timestamp):
             self.stats.rate_limited += 1
             return None
 
@@ -129,6 +160,7 @@ class PathDiscoveryAgent:
         if data_tuple is None:
             self.stats.slb_failures += 1
             return None
+        self._charge_budget(event.src_host, event.timestamp)
 
         trace = self._traceroute.trace(
             data_tuple, event.src_host, event.dst_host, time_s=event.timestamp
@@ -137,6 +169,7 @@ class PathDiscoveryAgent:
         if not trace.complete:
             self.stats.incomplete_traces += 1
         if not trace.discovered_links:
+            self._cache[cache_key] = None
             return None
 
         discovered = DiscoveredPath(
@@ -163,14 +196,18 @@ class PathDiscoveryAgent:
             return None
         return event.five_tuple.with_destination(dip)
 
-    def _consume_budget(self, host: str, timestamp: float) -> bool:
-        """Charge one traceroute against the host's per-second and per-epoch budgets."""
-        per_second_cap = max(1, int(self._config.max_traceroutes_per_host_per_second))
+    def _has_budget(self, host: str, timestamp: float) -> bool:
+        """Whether the host may start a traceroute now (no budget is charged)."""
         second_key = (host, int(timestamp))
-        if self._per_host_second_counts[second_key] >= per_second_cap:
-            return False
-        if self._per_host_counts[host] >= self._config.per_epoch_budget:
-            return False
-        self._per_host_second_counts[second_key] += 1
+        return (
+            self._per_host_second_counts[second_key] < self._config.per_second_cap
+            and self._per_host_counts[host] < self._config.per_epoch_budget
+        )
+
+    def _charge_budget(self, host: str, timestamp: float) -> None:
+        """Charge one traceroute against the host's per-second and per-epoch budgets.
+
+        Only called once the agent has decided to actually send a trace.
+        """
+        self._per_host_second_counts[(host, int(timestamp))] += 1
         self._per_host_counts[host] += 1
-        return True

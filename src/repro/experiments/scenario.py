@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.baselines.binary_program import solve_binary_program
 from repro.baselines.integer_program import IntegerProgramResult, solve_integer_program
-from repro.core.analysis import EpochReport
+from repro.core.analysis import EngineKind, EpochReport
 from repro.core.blame import BlameConfig
 from repro.core.pipeline import SystemConfig, Zero07System
 from repro.core.votes import VotePolicy
@@ -81,6 +81,8 @@ class ScenarioConfig:
     epochs: int = 1
     seed: int = 0
     use_slb: bool = True
+    #: analysis engine ("arrays" = vectorized default, "dicts" = reference).
+    engine: EngineKind = "arrays"
     vote_policy: VotePolicy = "inverse_hops"
     blame: BlameConfig = field(default_factory=BlameConfig)
     simulate_setup_failures: bool = False
@@ -280,6 +282,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         blame=config.blame,
         vote_policy=config.vote_policy,
         use_slb=config.use_slb,
+        engine=config.engine,
         # The paper's simulation study treats path discovery as reliable (the
         # probes "do not need to be dropped for 007 to operate", Section 4):
         # probes are lost only on fully blackholed links.  Lossy-probe mode is

@@ -1,0 +1,238 @@
+"""Unit tests for the numpy-backed analysis engine (repro.core.arrays)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import MultiEpochAggregator
+from repro.core.analysis import AnalysisAgent
+from repro.core.arrays import (
+    ArrayVoteTally,
+    ItemIndex,
+    LinkIndex,
+    find_problematic_links_arrays,
+)
+from repro.core.blame import BlameConfig, find_problematic_links
+from repro.core.switches import SwitchVoteTally, find_problematic_switches
+from repro.core.votes import VoteTally
+from repro.discovery.agent import DiscoveredPath
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.elements import DirectedLink
+
+
+def L(a: str, b: str) -> DirectedLink:
+    return DirectedLink(a, b)
+
+
+def _path(flow_id, links, retransmissions=1):
+    return DiscoveredPath(
+        flow_id=flow_id,
+        five_tuple=FiveTuple("a", "b", 1000 + flow_id, 443),
+        src_host="a",
+        dst_host="b",
+        links=list(links),
+        complete=True,
+        retransmissions=retransmissions,
+    )
+
+
+class TestLinkIndex:
+    def test_interns_densely_in_first_seen_order(self):
+        index = LinkIndex()
+        assert index.intern(L("b", "c")) == 0
+        assert index.intern(L("a", "b")) == 1
+        assert index.intern(L("b", "c")) == 0  # idempotent
+        assert len(index) == 2
+        assert index.link_of(1) == L("a", "b")
+        assert L("a", "b") in index
+        assert index.get(L("x", "y")) is None
+
+    def test_sort_ranks_follow_link_ordering(self):
+        index = LinkIndex([L("c", "d"), L("a", "b"), L("b", "c")])
+        ranks = index.sort_ranks()
+        # a->b sorts first, then b->c, then c->d
+        assert ranks.tolist() == [2, 0, 1]
+
+    def test_sort_ranks_refresh_after_growth(self):
+        index = LinkIndex([L("b", "c")])
+        assert index.sort_ranks().tolist() == [0]
+        index.intern(L("a", "b"))
+        assert index.sort_ranks().tolist() == [1, 0]
+
+    def test_from_topology_ids_equal_ranks(self, small_topology):
+        index = LinkIndex.from_topology(small_topology)
+        assert len(index) == small_topology.num_links(directed=True)
+        assert index.sort_ranks().tolist() == list(range(len(index)))
+
+    def test_item_index_interns_strings(self):
+        index = ItemIndex(["tor1", "t2"])
+        assert index.id_of("tor1") == 0
+        assert index.item_of(1) == "t2"
+        assert index.sort_ranks().tolist() == [1, 0]
+
+
+class TestArrayVoteTally:
+    def test_matches_dict_tally_on_small_example(self):
+        paths = [
+            _path(1, [L("a", "b"), L("b", "c")]),
+            _path(2, [L("b", "c"), L("c", "d")], retransmissions=3),
+            _path(3, [L("a", "b")]),
+        ]
+        ref, arr = VoteTally(), ArrayVoteTally()
+        ref.add_discovered_paths(paths)
+        arr.add_discovered_paths(paths)
+
+        assert arr.num_flows == ref.num_flows
+        assert arr.total_votes() == ref.total_votes()
+        assert arr.items() == ref.items()
+        assert arr.links() == ref.links()
+        assert arr.as_dict() == ref.as_dict()
+        assert arr.max_link() == ref.max_link()
+        for link in ref.links() + [L("z", "z")]:
+            assert arr.votes_of(link) == ref.votes_of(link)
+            assert arr.support_of(link) == ref.support_of(link)
+        assert arr.contributions == ref.contributions
+
+    def test_rejects_empty_paths_and_bad_policy(self):
+        with pytest.raises(ValueError):
+            ArrayVoteTally(policy="bogus")
+        with pytest.raises(ValueError):
+            ArrayVoteTally().add_flow(1, [])
+
+    def test_unit_policy(self):
+        tally = ArrayVoteTally(policy="unit")
+        tally.add_flow(1, [L("a", "b"), L("b", "c")])
+        assert tally.votes_of(L("a", "b")) == 1.0
+
+    def test_shared_index_across_epochs(self):
+        index = LinkIndex()
+        first = ArrayVoteTally(index=index)
+        first.add_flow(1, [L("a", "b")])
+        second = ArrayVoteTally(index=index)
+        second.add_flow(2, [L("b", "c")])
+        # second epoch's tally must not see first epoch's votes
+        assert second.votes_of(L("a", "b")) == 0.0
+        assert second.votes_of(L("b", "c")) == 1.0
+        assert index.id_of(L("a", "b")) == 0 and index.id_of(L("b", "c")) == 1
+
+    def test_copy_is_independent(self):
+        tally = ArrayVoteTally()
+        tally.add_flow(1, [L("a", "b")])
+        clone = tally.copy()
+        clone.add_flow(2, [L("a", "b")])
+        assert tally.votes_of(L("a", "b")) == 1.0
+        assert clone.votes_of(L("a", "b")) == 2.0
+
+    def test_rank_of(self):
+        tally = ArrayVoteTally()
+        tally.add_flow(1, [L("a", "b")])
+        tally.add_flow(2, [L("a", "b")])
+        tally.add_flow(3, [L("b", "c")])
+        assert tally.rank_of(L("a", "b")) == 1
+        assert tally.rank_of(L("b", "c")) == 2
+        assert tally.rank_of(L("x", "y")) is None
+
+
+class TestArrayBlame:
+    def test_dispatch_from_find_problematic_links(self):
+        tally = ArrayVoteTally()
+        for fid in range(5):
+            tally.add_flow(fid, [L("a", "b"), L("b", "c")])
+        result = find_problematic_links(tally, BlameConfig())
+        assert result.detected_links  # the shared links dominate
+        assert result.detected_links == find_problematic_links_arrays(tally).detected_links
+
+    def test_empty_tally(self):
+        result = find_problematic_links_arrays(ArrayVoteTally())
+        assert result.detected_links == [] and result.threshold_votes == 0.0
+
+    def test_min_flow_support_guard(self):
+        tally = ArrayVoteTally()
+        tally.add_flow(1, [L("a", "b")])
+        config = BlameConfig(min_flow_support=2)
+        assert find_problematic_links_arrays(tally, config).detected_links == []
+        assert find_problematic_links(VoteTally(), config).detected_links == []
+
+
+class TestSwitchEngines:
+    def _tally(self, rng):
+        tally = SwitchVoteTally()
+        switches = [f"s{i}" for i in range(12)]
+        for flow_id in range(60):
+            count = int(rng.integers(1, 5))
+            chosen = rng.choice(len(switches), size=count, replace=False)
+            tally.add_flow(flow_id, [switches[i] for i in chosen])
+        return tally
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_array_switch_blame_matches_dict(self, seed):
+        tally = self._tally(np.random.default_rng(seed))
+        for config in (BlameConfig(), BlameConfig(adjustment="none"),
+                       BlameConfig(threshold_fraction=0.2)):
+            assert find_problematic_switches(
+                tally, config, engine="arrays"
+            ) == find_problematic_switches(tally, config, engine="dicts")
+
+    def test_empty_switch_tally(self):
+        assert find_problematic_switches(SwitchVoteTally(), engine="arrays") == []
+
+    def test_hand_populated_votes_fall_back_to_dict_loop(self):
+        # A tally whose public votes dict was filled without contributions
+        # has nothing for the CSR rebuild; the dict loop must serve it.
+        tally = SwitchVoteTally(votes={"s1": 10.0})
+        assert find_problematic_switches(tally, engine="arrays") == ["s1"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            find_problematic_switches(SwitchVoteTally(), engine="array")
+        with pytest.raises(ValueError):
+            AnalysisAgent(engine="array")
+
+
+class TestArrayAggregator:
+    def _reports(self, engine):
+        agent = AnalysisAgent(engine=engine)
+        paths_by_epoch = {
+            0: [_path(1, [L("a", "b"), L("b", "c")], retransmissions=4),
+                _path(2, [L("a", "b")], retransmissions=4)],
+            1: [_path(3, [L("a", "b"), L("c", "d")], retransmissions=4),
+                _path(4, [L("a", "b")], retransmissions=4)],
+        }
+        return agent.analyze_epochs(paths_by_epoch)
+
+    @pytest.mark.parametrize("engine", ["dicts", "arrays"])
+    def test_aggregates_match_across_engines(self, engine):
+        reference = MultiEpochAggregator()
+        reference.ingest_many(self._reports("dicts"))
+        aggregator = MultiEpochAggregator()
+        aggregator.ingest_many(self._reports(engine))
+
+        assert aggregator.epochs_ingested == 2
+        assert aggregator.detections_per_epoch() == reference.detections_per_epoch()
+        assert aggregator.max_votes_per_epoch() == reference.max_votes_per_epoch()
+        for link in (L("a", "b"), L("b", "c"), L("c", "d")):
+            got, want = aggregator.record_of(link), reference.record_of(link)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got == want
+        assert aggregator.record_of(L("z", "z")) is None
+        offenders = aggregator.recurrent_offenders(min_epochs_detected=2)
+        assert offenders == reference.recurrent_offenders(min_epochs_detected=2)
+
+    def test_aggregator_mixing_engines(self):
+        aggregator = MultiEpochAggregator()
+        dict_reports = self._reports("dicts")
+        array_reports = self._reports("arrays")
+        aggregator.ingest(dict_reports[0])
+        aggregator.ingest(array_reports[1])
+        record = aggregator.record_of(L("a", "b"))
+        assert record is not None and record.epochs_voted == 2
+
+    def test_aggregator_shared_index_fast_path(self):
+        index = LinkIndex()
+        agent = AnalysisAgent(engine="arrays", link_index=index)
+        report = agent.analyze_epoch(0, [_path(1, [L("a", "b")], retransmissions=4)])
+        aggregator = MultiEpochAggregator(link_index=index)
+        aggregator.ingest(report)
+        assert aggregator.record_of(L("a", "b")).epochs_voted == 1

@@ -1,0 +1,170 @@
+"""Property tests: the array engine and the dict engine agree bit-for-bit.
+
+The dict-based tally/blame pipeline is the reference oracle; the vectorized
+engine must reproduce its EpochReports exactly — same detections in the same
+order, same vote floats, same thresholds, same flow causes, same noise split —
+on randomized tallies and on the paper's Figure 10 single-failure scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import AnalysisAgent
+from repro.core.blame import BlameConfig
+from repro.discovery.agent import DiscoveredPath
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.elements import DirectedLink
+
+
+def _random_paths(rng: np.random.Generator, num_flows: int) -> list:
+    """Random multi-hop paths over a small synthetic link pool."""
+    nodes = [f"n{i}" for i in range(14)]
+    pool = [
+        DirectedLink(nodes[i], nodes[j])
+        for i in range(len(nodes))
+        for j in range(len(nodes))
+        if i != j
+    ]
+    paths = []
+    for flow_id in range(num_flows):
+        hops = int(rng.integers(1, 7))
+        chosen = rng.choice(len(pool), size=hops, replace=False)
+        paths.append(
+            DiscoveredPath(
+                flow_id=flow_id,
+                five_tuple=FiveTuple("a", "b", 1000 + flow_id, 443),
+                src_host="a",
+                dst_host="b",
+                links=[pool[k] for k in chosen],
+                complete=True,
+                retransmissions=int(rng.integers(1, 5)),
+            )
+        )
+    return paths
+
+
+def assert_reports_identical(ref, got):
+    """Every user-visible field of the two EpochReports must match exactly."""
+    assert got.epoch == ref.epoch
+    assert got.num_paths_analyzed == ref.num_paths_analyzed
+    assert got.detected_links == ref.detected_links
+    assert got.ranked_links == ref.ranked_links  # exact floats, exact order
+    assert got.flow_causes == ref.flow_causes
+    assert got.blame.votes_at_detection == ref.blame.votes_at_detection
+    assert got.blame.threshold_votes == ref.blame.threshold_votes
+    assert got.blame.final_votes == ref.blame.final_votes
+    assert got.noise.noise_flows == ref.noise.noise_flows
+    assert got.noise.failure_flows == ref.noise.failure_flows
+    assert got.tally.total_votes() == ref.tally.total_votes()
+    assert got.tally.items() == ref.tally.items()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_tallies_equivalent(seed):
+    rng = np.random.default_rng(seed)
+    paths = _random_paths(rng, num_flows=int(rng.integers(5, 120)))
+    ref = AnalysisAgent(engine="dicts").analyze_epoch(0, paths)
+    got = AnalysisAgent(engine="arrays").analyze_epoch(0, paths)
+    assert_reports_identical(ref, got)
+
+
+@pytest.mark.parametrize(
+    "blame_kwargs",
+    [
+        {"adjustment": "none"},
+        {"min_flow_support": 1},
+        {"threshold_fraction": 0.05},
+        {"max_links": 2},
+    ],
+)
+def test_blame_config_variants_equivalent(blame_kwargs):
+    rng = np.random.default_rng(99)
+    paths = _random_paths(rng, num_flows=80)
+    config = BlameConfig(**blame_kwargs)
+    ref = AnalysisAgent(blame_config=config, engine="dicts").analyze_epoch(0, paths)
+    got = AnalysisAgent(blame_config=config, engine="arrays").analyze_epoch(0, paths)
+    assert_reports_identical(ref, got)
+
+
+@pytest.mark.parametrize("vote_policy", ["inverse_hops", "unit"])
+@pytest.mark.parametrize("attribute_noise_flows", [False, True])
+def test_agent_options_equivalent(vote_policy, attribute_noise_flows):
+    rng = np.random.default_rng(7)
+    paths = _random_paths(rng, num_flows=60)
+    kwargs = dict(
+        vote_policy=vote_policy, attribute_noise_flows=attribute_noise_flows
+    )
+    ref = AnalysisAgent(engine="dicts", **kwargs).analyze_epoch(0, paths)
+    got = AnalysisAgent(engine="arrays", **kwargs).analyze_epoch(0, paths)
+    assert_reports_identical(ref, got)
+
+
+def test_duplicate_links_within_a_path_equivalent():
+    """A link repeated in one path votes (and is discounted) per occurrence.
+
+    Flow 0 carries Y twice alongside the dominant link X; when Algorithm 1
+    blames X, the dict engine discounts Y by 2x flow 0's weight, and the
+    array kernel must do the same (a plain fancy-indexed subtraction would
+    collapse the duplicate into a single discount).
+    """
+    X, Y, Z = (DirectedLink("a", "b"), DirectedLink("b", "c"), DirectedLink("c", "d"))
+    paths = [
+        _path_from_links(0, [X, Y, Y]),
+        _path_from_links(1, [X, Z]),
+        _path_from_links(2, [X, Z]),
+        _path_from_links(3, [X, Y]),
+        _path_from_links(4, [Y, Z]),
+    ]
+    for threshold in (0.01, 0.2, 0.35):
+        config = BlameConfig(threshold_fraction=threshold)
+        ref = AnalysisAgent(blame_config=config, engine="dicts").analyze_epoch(0, paths)
+        got = AnalysisAgent(blame_config=config, engine="arrays").analyze_epoch(0, paths)
+        assert ref.detected_links and ref.detected_links[0] == X
+        assert_reports_identical(ref, got)
+
+
+def _path_from_links(flow_id, links):
+    return DiscoveredPath(
+        flow_id=flow_id,
+        five_tuple=FiveTuple("a", "b", 1000 + flow_id, 443),
+        src_host="a",
+        dst_host="b",
+        links=list(links),
+        complete=True,
+        retransmissions=4,
+    )
+
+
+def test_empty_epoch_equivalent():
+    ref = AnalysisAgent(engine="dicts").analyze_epoch(3, [])
+    got = AnalysisAgent(engine="arrays").analyze_epoch(3, [])
+    assert_reports_identical(ref, got)
+
+
+def test_multi_epoch_persistent_index_equivalent():
+    """The arrays agent reuses one LinkIndex across epochs without cross-talk."""
+    rng = np.random.default_rng(21)
+    paths_by_epoch = {e: _random_paths(rng, 40) for e in range(4)}
+    ref_agent = AnalysisAgent(engine="dicts")
+    got_agent = AnalysisAgent(engine="arrays")
+    for ref, got in zip(
+        ref_agent.analyze_epochs(paths_by_epoch),
+        got_agent.analyze_epochs(paths_by_epoch),
+    ):
+        assert_reports_identical(ref, got)
+
+
+def test_fig10_single_failure_scenario_equivalent():
+    """The Figure 10 setup: one injected failure, full pipeline, both engines."""
+    base = dict(num_bad_links=1, epochs=2, seed=3)
+    ref = run_scenario(ScenarioConfig(engine="dicts", **base))
+    got = run_scenario(ScenarioConfig(engine="arrays", **base))
+    assert len(ref.reports) == len(got.reports) == 2
+    for ref_report, got_report in zip(ref.reports, got.reports):
+        assert_reports_identical(ref_report, got_report)
+    assert got.detection_007().precision == ref.detection_007().precision
+    assert got.detection_007().recall == ref.detection_007().recall
+    assert got.accuracy_007() == ref.accuracy_007()

@@ -44,6 +44,37 @@ class TestPipelineConstruction:
         assert system.path_discovery.config.max_traceroutes_per_host_per_second == pytest.approx(expected)
 
 
+class TestConfigIsolation:
+    def test_shared_config_not_mutated(self, medium_topology):
+        # Regression: the constructor used to assign epoch_duration_s into the
+        # caller's SimulationConfig in place, so two systems sharing one config
+        # cross-contaminated each other.
+        shared_simulation = SimulationConfig(simulate_setup_failures=False)
+        config = SystemConfig(epoch_duration_s=30.0, simulation=shared_simulation)
+        traffic = UniformTraffic(medium_topology, connections_per_host=5, packets_per_flow=10)
+
+        first = Zero07System(medium_topology, traffic, config=config, rng=0)
+        config.epoch_duration_s = 60.0
+        second = Zero07System(medium_topology, traffic, config=config, rng=0)
+
+        assert first.config.epoch_duration_s == 30.0
+        assert first.config.simulation.epoch_duration_s == 30.0
+        assert second.config.simulation.epoch_duration_s == 60.0
+        assert first.path_discovery.config.epoch_duration_s == 30.0
+        assert second.path_discovery.config.epoch_duration_s == 60.0
+        # the caller's objects are untouched
+        assert shared_simulation.epoch_duration_s == 30.0
+        assert config.simulation is shared_simulation
+
+    def test_engine_switch_wired_through(self, medium_topology):
+        traffic = UniformTraffic(medium_topology, connections_per_host=5, packets_per_flow=10)
+        for engine in ("dicts", "arrays"):
+            system = Zero07System(
+                medium_topology, traffic, config=SystemConfig(engine=engine), rng=0
+            )
+            assert system.analysis.engine == engine
+
+
 class TestHealthyNetwork:
     def test_no_failures_no_detections(self, medium_topology):
         link_table = LinkStateTable(medium_topology, noise_high=0.0, rng=0)

@@ -68,6 +68,33 @@ class TestRanking:
     def test_vote_gap_with_no_votes(self):
         assert vote_gap(VoteTally(), [BAD]) == 0.0
 
+    def test_rank_cache_invalidated_by_new_votes(self, tally):
+        # Regression guard for the cached position map behind rank_of_link:
+        # adding votes after a rank query must refresh the cached ranking.
+        assert rank_of_link(tally, GOOD_A) > 1
+        for flow_id in range(100, 110):
+            tally.add_flow(flow_id, [GOOD_A])
+        assert rank_of_link(tally, GOOD_A) == 1
+
+    def test_items_cache_returns_fresh_copies(self, tally):
+        first = tally.items()
+        first.clear()  # mutating the returned list must not corrupt the cache
+        assert tally.items()[0][0] == BAD
+
+
+class TestBlameResultContains:
+    def test_contains_tracks_appended_links(self):
+        # Regression guard for the cached membership set in BlameResult: the
+        # set must follow detected_links as Algorithm 1 appends to it.
+        from repro.core.blame import BlameResult
+
+        result = BlameResult()
+        assert BAD not in result
+        result.detected_links.append(BAD)
+        assert BAD in result
+        result.detected_links.append(GOOD_A)
+        assert GOOD_A in result and BAD in result
+
 
 class TestAttribution:
     def test_attribute_single_flow(self, tally):

@@ -97,6 +97,51 @@ class TestRateLimits:
         config = PathDiscoveryConfig(max_traceroutes_per_host_per_second=2, epoch_duration_s=30)
         assert config.per_epoch_budget == 60
 
+    def test_sub_unit_rate_budget_rounds_up_to_one(self):
+        # Regression: Ct * epoch < 1 used to truncate the per-epoch budget to
+        # zero, rate-limiting every traceroute of the epoch.
+        config = PathDiscoveryConfig(
+            max_traceroutes_per_host_per_second=0.02, epoch_duration_s=30
+        )
+        assert config.per_epoch_budget == 1
+        assert config.per_second_cap == 1
+
+    def test_fractional_rate_uses_ceiling(self):
+        # Regression: a fractional Ct was truncated (int) instead of ceiled.
+        config = PathDiscoveryConfig(
+            max_traceroutes_per_host_per_second=1.5, epoch_duration_s=30
+        )
+        assert config.per_second_cap == 2
+        assert config.per_epoch_budget == 45
+
+    def test_sub_unit_rate_still_traces(self, small_topology, router, link_table):
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(
+            engine,
+            config=PathDiscoveryConfig(
+                max_traceroutes_per_host_per_second=0.02, epoch_duration_s=30
+            ),
+        )
+        src, dst = pair_of_hosts(small_topology)
+        assert agent.discover(_event(1, src, dst, FiveTuple(src, dst, 1000, 443))) is not None
+        assert agent.stats.rate_limited == 0
+
+    def test_fractional_rate_allows_ceiling_traces_per_second(
+        self, small_topology, router, link_table
+    ):
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(
+            engine,
+            config=PathDiscoveryConfig(max_traceroutes_per_host_per_second=1.5),
+        )
+        src, dst = pair_of_hosts(small_topology)
+        outcomes = [
+            agent.discover(_event(port, src, dst, FiveTuple(src, dst, port, 443), timestamp=0.1))
+            for port in range(1000, 1004)
+        ]
+        assert sum(1 for o in outcomes if o is not None) == 2
+        assert agent.stats.rate_limited == 2
+
 
 class TestSlbInteraction:
     def test_vip_resolved_before_tracing(self, small_topology, router, link_table):
@@ -127,3 +172,67 @@ class TestSlbInteraction:
         never_established = FiveTuple(src, f"vip:{dst}", 1000, 443)
         assert agent.discover(_event(1, src, dst, never_established)) is None
         assert agent.stats.slb_failures == 1
+
+    def test_slb_failure_does_not_burn_trace_budget(
+        self, small_topology, router, link_table
+    ):
+        # Regression: the per-host budget used to be charged before SLB
+        # resolution, so failed VIP->DIP lookups consumed traceroute budget
+        # (and later flows were reported as rate-limited) although no
+        # traceroute was ever sent.
+        slb = SoftwareLoadBalancer(query_failure_rate=1.0, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        engine = TracerouteEngine(router, link_table, IcmpRateLimiter(), rng=0, probe_loss=False)
+        agent = PathDiscoveryAgent(
+            engine,
+            slb=slb,
+            config=PathDiscoveryConfig(max_traceroutes_per_host_per_second=1),
+        )
+        app, _ = slb.establish_connection(src, dst, 1000, 443)
+        for port in range(1001, 1004):
+            failed_app, _ = slb.establish_connection(src, dst, port, 443)
+            assert agent.discover(_event(port, src, dst, failed_app, timestamp=0.2)) is None
+        assert agent.stats.slb_failures == 3
+        assert agent.stats.rate_limited == 0
+        # the budget is intact: a resolvable flow in the same second still traces
+        slb._query_failure_rate = 0.0
+        assert agent.discover(_event(1, src, dst, app, timestamp=0.2)) is not None
+        assert agent.stats.traceroutes_sent == 1
+
+
+class TestNegativeTraceCache:
+    class _EmptyTraceEngine:
+        """A traceroute stub whose probes never discover any link."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def trace(self, five_tuple, src_host, dst_host, time_s=0.0):
+            self.calls += 1
+            from repro.discovery.traceroute import TracerouteResult
+
+            return TracerouteResult(
+                five_tuple=five_tuple, src_host=src_host, dst_host=dst_host
+            )
+
+    def test_empty_trace_cached_within_epoch(self, small_topology):
+        # Regression: a trace that discovered no links was not cached, so every
+        # retransmission of the flow re-traced and drained the host budget.
+        engine = self._EmptyTraceEngine()
+        agent = PathDiscoveryAgent(engine, config=PathDiscoveryConfig())
+        src, dst = pair_of_hosts(small_topology)
+        flow = FiveTuple(src, dst, 1000, 443)
+        assert agent.discover(_event(1, src, dst, flow)) is None
+        assert agent.discover(_event(1, src, dst, flow)) is None
+        assert engine.calls == 1
+        assert agent.stats.traceroutes_sent == 1
+        assert agent.stats.served_from_cache == 1
+
+    def test_negative_cache_cleared_on_new_epoch(self, small_topology):
+        engine = self._EmptyTraceEngine()
+        agent = PathDiscoveryAgent(engine, config=PathDiscoveryConfig())
+        src, dst = pair_of_hosts(small_topology)
+        flow = FiveTuple(src, dst, 1000, 443)
+        agent.discover(_event(1, src, dst, flow, epoch=0))
+        agent.discover(_event(1, src, dst, flow, epoch=1))
+        assert engine.calls == 2
