@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.netsim.script import ScenarioScript
+from repro.topology.elements import LinkLevel, SwitchTier
 from repro.theory.theorem1 import traceroute_rate_bound
 from repro.theory.theorem2 import (
     max_detectable_bad_links,
@@ -45,6 +47,7 @@ def _experiment_registry() -> Dict[str, Callable[[], ExperimentResult]]:
         fig11_link_location,
         fig12_skewed_drop_rates,
         fig13_testcluster_votes,
+        sec66_transient,
         sec67_network_size,
         sec72_two_links,
         sec82_everflow_validation,
@@ -65,6 +68,7 @@ def _experiment_registry() -> Dict[str, Callable[[], ExperimentResult]]:
         "fig10": fig10_detection_single.run_fig10,
         "fig11": fig11_link_location.run_fig11,
         "fig12": fig12_skewed_drop_rates.run_fig12,
+        "sec66": sec66_transient.run_sec66,
         "sec67": sec67_network_size.run_sec67,
         "fig13": fig13_testcluster_votes.run_fig13,
         "sec72": sec72_two_links.run_sec72,
@@ -94,6 +98,44 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--epochs", type=int, default=1)
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--top", type=int, default=5, help="how many ranked links to print")
+    scenario.add_argument(
+        "--engine",
+        choices=["arrays", "dicts"],
+        default="arrays",
+        help="analysis engine (vectorized default vs pure-Python reference)",
+    )
+    # time-varying timeline (scripted events on top of the static failures)
+    scenario.add_argument(
+        "--timeline",
+        choices=["none", "flap", "burst", "reboot", "drain"],
+        default="none",
+        help="scripted per-epoch event timeline; victims are chosen randomly "
+        "(seeded) at the given level",
+    )
+    scenario.add_argument(
+        "--event-start", type=int, default=2, help="epoch the scripted event begins"
+    )
+    scenario.add_argument(
+        "--event-duration", type=int, default=3, help="epochs the scripted event lasts"
+    )
+    scenario.add_argument(
+        "--event-rate",
+        type=float,
+        default=1e-2,
+        help="drop rate of flap/burst events (reboot/drain always blackhole)",
+    )
+    scenario.add_argument(
+        "--num-events",
+        type=int,
+        default=1,
+        help="how many flaps (or links per burst) the timeline contains",
+    )
+    scenario.add_argument(
+        "--event-level",
+        choices=["host", "1", "2"],
+        default="1",
+        help="link level the scripted events strike (host-ToR, ToR-T1, T1-T2)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure")
     experiment.add_argument("name", choices=sorted(_experiment_registry()))
@@ -125,7 +167,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_EVENT_LEVELS = {
+    "host": LinkLevel.HOST,
+    "1": LinkLevel.LEVEL1,
+    "2": LinkLevel.LEVEL2,
+}
+
+
+def _build_timeline(args: argparse.Namespace) -> Optional[ScenarioScript]:
+    """Translate the ``--timeline`` flags into a :class:`ScenarioScript`."""
+    if args.timeline == "none":
+        return None
+    level = _EVENT_LEVELS[args.event_level]
+    script = ScenarioScript()
+    if args.timeline == "flap":
+        # successive (non-overlapping) flaps: simultaneous random flaps could
+        # resolve to the same victim and silently collapse into one; links
+        # congesting together is what --timeline burst expresses.
+        for i in range(max(1, args.num_events)):
+            script.flap(
+                start=args.event_start + i * (args.event_duration + 1),
+                duration=args.event_duration,
+                drop_rate=args.event_rate,
+                level=level,
+            )
+    elif args.timeline == "burst":
+        script.burst(
+            start=args.event_start,
+            duration=args.event_duration,
+            level=level,
+            num_links=max(1, args.num_events),
+            drop_rate=args.event_rate,
+        )
+    elif args.timeline == "reboot":
+        script.reboot_switch(
+            epoch=args.event_start,
+            tier=SwitchTier.T1,
+            outage_epochs=args.event_duration,
+        )
+    elif args.timeline == "drain":
+        script.drain(start=args.event_start, duration=args.event_duration, level=level)
+    return script
+
+
 def _run_scenario_command(args: argparse.Namespace, out) -> int:
+    script = _build_timeline(args)
     config = ScenarioConfig(
         npod=args.pods,
         n0=args.tors_per_pod,
@@ -137,6 +223,8 @@ def _run_scenario_command(args: argparse.Namespace, out) -> int:
         connections_per_host=args.connections_per_host,
         epochs=args.epochs,
         seed=args.seed,
+        engine=args.engine,
+        script=script,
     )
     result = run_scenario(config)
     report = result.reports[-1]
@@ -144,6 +232,24 @@ def _run_scenario_command(args: argparse.Namespace, out) -> int:
     print("injected failures:", file=out)
     for link, rate in sorted(result.failure_scenario.drop_rates.items()):
         print(f"  {link} at {rate:.3%}", file=out)
+    if script is not None:
+        per_epoch = result.per_epoch_detection_007()
+        print("per-epoch timeline:", file=out)
+        for i, score in enumerate(per_epoch):
+            truth = result.truth_for_epoch(i)
+            detected = result.reports[i].detected_links
+            print(
+                f"  epoch {i}: {len(truth.bad_links)} bad link(s), "
+                f"{len(detected)} detected, precision {score.precision:.2f}, "
+                f"recall {score.recall:.2f}",
+                file=out,
+            )
+        for link, latency in sorted(result.time_to_detection_007().items()):
+            latency_text = "never" if latency is None else f"{latency} epoch(s)"
+            print(f"  time to detection of {link}: {latency_text}", file=out)
+        false_alarms = result.false_alarm_rate_007()
+        if false_alarms == false_alarms:  # not nan
+            print(f"  false-alarm rate after clear: {false_alarms:.2f}", file=out)
     print(report.summary(), file=out)
     print(f"top {args.top} voted links:", file=out)
     for link, votes in report.top_links(args.top):

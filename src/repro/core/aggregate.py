@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.analysis import EpochReport
 from repro.core.arrays import LinkIndex
+from repro.netsim.failures import FailureScenario
 from repro.topology.elements import DirectedLink, LinkLevel
 from repro.topology.topology import Topology
 
@@ -40,6 +41,10 @@ class LinkHealthRecord:
     total_votes: float = 0.0
     max_votes: float = 0.0
     last_detected_epoch: Optional[int] = None
+    #: ground-truth columns, filled only when per-epoch truth is ingested.
+    epochs_bad: int = 0
+    true_detections: int = 0
+    false_detections: int = 0
 
     @property
     def mean_votes_when_voted(self) -> float:
@@ -66,6 +71,11 @@ class MultiEpochAggregator:
         self._total_votes = np.zeros(len(self._index), dtype=np.float64)
         self._max_votes = np.zeros(len(self._index), dtype=np.float64)
         self._last_detected = np.zeros(len(self._index), dtype=np.int64)
+        # ground-truth columns (filled only when truth is supplied to ingest)
+        self._epochs_bad = np.zeros(len(self._index), dtype=np.int64)
+        self._true_detections = np.zeros(len(self._index), dtype=np.int64)
+        self._false_detections = np.zeros(len(self._index), dtype=np.int64)
+        self._epochs_with_truth = 0
         # translation tables from a foreign LinkIndex to this aggregator's
         # ids; weak keys so dead per-epoch indexes are not retained forever.
         self._translations: "weakref.WeakKeyDictionary[LinkIndex, np.ndarray]" = (
@@ -92,6 +102,15 @@ class MultiEpochAggregator:
         self._last_detected = np.concatenate(
             [self._last_detected, np.zeros(extra, dtype=np.int64)]
         )
+        self._epochs_bad = np.concatenate(
+            [self._epochs_bad, np.zeros(extra, dtype=np.int64)]
+        )
+        self._true_detections = np.concatenate(
+            [self._true_detections, np.zeros(extra, dtype=np.int64)]
+        )
+        self._false_detections = np.concatenate(
+            [self._false_detections, np.zeros(extra, dtype=np.int64)]
+        )
 
     def _translate(self, foreign: LinkIndex) -> np.ndarray:
         """Table mapping foreign link ids to this aggregator's ids."""
@@ -111,8 +130,16 @@ class MultiEpochAggregator:
         return table
 
     # ------------------------------------------------------------------
-    def ingest(self, report: EpochReport) -> None:
-        """Fold one epoch's report into the running aggregates."""
+    def ingest(self, report: EpochReport, truth: Optional[FailureScenario] = None) -> None:
+        """Fold one epoch's report into the running aggregates.
+
+        Pass the epoch's ground-truth :class:`FailureScenario` (as recorded by
+        :meth:`Zero07System.ground_truth` / ``ScenarioResult.truth_by_epoch``)
+        to additionally maintain truth-aware columns: per-link bad-epoch
+        counts and true/false detection-event splits.  With time-varying
+        scenarios the truth differs per epoch, which is exactly what these
+        columns account for.
+        """
         self._epochs_seen.append(report.epoch)
         self._detections_per_epoch.append(len(report.detected_links))
         top_votes = report.ranked_links[0][1] if report.ranked_links else 0.0
@@ -140,10 +167,30 @@ class MultiEpochAggregator:
             self._epochs_detected[idx] += 1
             self._last_detected[idx] = report.epoch
 
-    def ingest_many(self, reports: List[EpochReport]) -> None:
-        """Fold several epoch reports in order."""
-        for report in reports:
-            self.ingest(report)
+        if truth is not None:
+            self._epochs_with_truth += 1
+            bad_ids = {self._index.intern(link) for link in truth.bad_links}
+            self._grow()
+            for idx in bad_ids:
+                self._epochs_bad[idx] += 1
+            for idx in detected_ids:
+                if idx in bad_ids:
+                    self._true_detections[idx] += 1
+                else:
+                    self._false_detections[idx] += 1
+
+    def ingest_many(
+        self,
+        reports: List[EpochReport],
+        truths: Optional[List[FailureScenario]] = None,
+    ) -> None:
+        """Fold several epoch reports (and optional per-epoch truths) in order."""
+        if truths is not None and len(truths) != len(reports):
+            raise ValueError(
+                f"got {len(reports)} reports but {len(truths)} truth scenarios"
+            )
+        for i, report in enumerate(reports):
+            self.ingest(report, truth=truths[i] if truths is not None else None)
 
     # ------------------------------------------------------------------
     @property
@@ -160,6 +207,9 @@ class MultiEpochAggregator:
             total_votes=float(self._total_votes[idx]),
             max_votes=float(self._max_votes[idx]),
             last_detected_epoch=int(self._last_detected[idx]) if detected else None,
+            epochs_bad=int(self._epochs_bad[idx]),
+            true_detections=int(self._true_detections[idx]),
+            false_detections=int(self._false_detections[idx]),
         )
 
     def record_of(self, link: DirectedLink) -> Optional[LinkHealthRecord]:
@@ -182,6 +232,27 @@ class MultiEpochAggregator:
             for idx in np.flatnonzero(self._epochs_detected >= min_epochs_detected)
         ]
         return sorted(offenders, key=lambda r: (-r.epochs_detected, -r.total_votes))
+
+    @property
+    def epochs_with_truth(self) -> int:
+        """Number of ingested epochs that carried ground truth."""
+        return self._epochs_with_truth
+
+    def detection_event_counts(self) -> Tuple[int, int]:
+        """(true, false) detection events over the truth-carrying epochs."""
+        return int(self._true_detections.sum()), int(self._false_detections.sum())
+
+    def false_alarm_fraction(self) -> float:
+        """Share of detection events naming a link that was not bad that epoch.
+
+        Only meaningful when per-epoch truth was ingested; ``nan`` when no
+        truth-scored detection events exist yet.
+        """
+        true_events, false_events = self.detection_event_counts()
+        total = true_events + false_events
+        if total == 0:
+            return float("nan")
+        return false_events / total
 
     def detections_per_epoch(self) -> Tuple[float, float]:
         """Mean and standard deviation of links flagged per epoch (Section 8.3)."""

@@ -20,7 +20,9 @@ from repro.discovery.agent import PathDiscoveryAgent, PathDiscoveryConfig
 from repro.discovery.icmp import IcmpRateLimiter
 from repro.discovery.traceroute import TracerouteEngine
 from repro.monitoring.agent import TcpMonitoringAgent
+from repro.netsim.failures import FailureScenario
 from repro.netsim.links import LinkStateTable
+from repro.netsim.script import CompiledScenarioScript, ScenarioScript
 from repro.netsim.simulator import EpochResult, EpochSimulator, SimulationConfig
 from repro.netsim.traffic import TrafficGenerator
 from repro.routing.ecmp import EcmpRouter
@@ -65,6 +67,11 @@ class Zero07System:
         System configuration; sensible defaults reproduce the paper's setup.
     rng:
         Seed or generator for all stochastic components.
+    script:
+        Optional :class:`~repro.netsim.script.ScenarioScript` describing a
+        time-varying timeline (flaps, bursts, reboots, drains, traffic
+        shifts).  The system applies it at the start of every epoch, so the
+        failure set — and therefore the ground truth — changes over time.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class Zero07System:
         link_table: Optional[LinkStateTable] = None,
         config: Optional[SystemConfig] = None,
         rng: RngLike = 0,
+        script: Optional[ScenarioScript] = None,
     ) -> None:
         self._topology = topology
         # Copy the caller's config instead of aliasing it: the constructor
@@ -138,6 +146,18 @@ class Zero07System:
         )
         self._base_rng = base_rng
 
+        # The compiled timeline (if any) and the per-epoch ground truth.  The
+        # compile rng is forked from the system seed, so both analysis engines
+        # resolve a script to the exact same concrete timeline.
+        self._script: Optional[CompiledScenarioScript] = (
+            script.compile(
+                topology, self.link_table, router=self.router, rng=spawn_rng(rng, 6)
+            )
+            if script is not None
+            else None
+        )
+        self._truth_by_epoch: dict[int, FailureScenario] = {}
+
     # ------------------------------------------------------------------
     @property
     def topology(self) -> ClosTopology:
@@ -149,9 +169,49 @@ class Zero07System:
         """The system configuration."""
         return self._config
 
+    @property
+    def script(self) -> Optional[CompiledScenarioScript]:
+        """The compiled scenario timeline driving the epochs (``None`` if static)."""
+        return self._script
+
+    # ------------------------------------------------------------------
+    def ground_truth(self, epoch: int) -> FailureScenario:
+        """The failure ground truth that was live while ``epoch`` ran.
+
+        Recorded at the start of every simulated epoch — *after* the scenario
+        script's events for that epoch were applied — so it reflects exactly
+        the failure set the epoch's flows experienced (static injections plus
+        whatever transients were active).
+        """
+        try:
+            return self._truth_by_epoch[epoch]
+        except KeyError:
+            raise KeyError(f"epoch {epoch} has not been simulated yet") from None
+
+    @property
+    def truth_by_epoch(self) -> dict:
+        """All recorded per-epoch ground truths (epoch -> FailureScenario)."""
+        return dict(self._truth_by_epoch)
+
+    def _snapshot_truth(self) -> FailureScenario:
+        """The current failure ground truth, read straight off the link table."""
+        bad = sorted(self.link_table.failed_links)
+        return FailureScenario(
+            bad_links=bad,
+            drop_rates={link: self.link_table.drop_probability(link) for link in bad},
+        )
+
     # ------------------------------------------------------------------
     def run_epoch(self, epoch: int) -> Tuple[EpochResult, EpochReport]:
         """Simulate one epoch and analyse it; returns (simulation, 007 report)."""
+        if self._script is not None:
+            new_traffic = self._script.traffic_for_epoch(
+                epoch, current=self.simulator.traffic
+            )
+            if new_traffic is not None:
+                self.simulator.set_traffic(new_traffic)
+            self._script.apply_epoch(epoch)
+        self._truth_by_epoch[epoch] = self._snapshot_truth()
         self.path_discovery.new_epoch(epoch)
         sim_result = self.simulator.run_epoch(epoch)
         paths = self.monitoring.paths_for_epoch(epoch)

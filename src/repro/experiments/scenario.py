@@ -9,7 +9,7 @@ paper's evaluation section does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,10 +23,15 @@ from repro.core.votes import VotePolicy
 from repro.metrics.evaluation import (
     DetectionScore,
     detection_precision_recall,
+    false_alarm_rate_after_clear,
+    mean_time_to_detection,
+    per_epoch_detection,
     per_flow_accuracy,
+    time_to_detection,
 )
 from repro.netsim.failures import FailureInjector, FailureScenario
 from repro.netsim.links import LinkStateTable
+from repro.netsim.script import ScenarioScript
 from repro.netsim.simulator import EpochResult, SimulationConfig
 from repro.netsim.traffic import (
     HotTorTraffic,
@@ -77,6 +82,11 @@ class ScenarioConfig:
     dominant_drop_rate_range: Tuple[float, float] = (0.1, 1.0)
     minor_drop_rate_range: Tuple[float, float] = (1e-4, 1e-3)
 
+    #: optional time-varying timeline (flaps, bursts, reboots, drains,
+    #: traffic shifts) applied on top of the static ``failure_kind``
+    #: injection; makes the ground truth vary per epoch.
+    script: Optional[ScenarioScript] = None
+
     # run ----------------------------------------------------------------
     epochs: int = 1
     seed: int = 0
@@ -109,13 +119,23 @@ class ScenarioResult:
     epoch_results: List[EpochResult]
     reports: List[EpochReport]
     system: Zero07System
+    #: ground truth live during each epoch (static injections plus whatever
+    #: scripted transients were active).  Indexed like ``reports``; empty only
+    #: when a result was constructed by hand without per-epoch snapshots.
+    truth_by_epoch: List[FailureScenario] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # ground truth helpers
     # ------------------------------------------------------------------
     def true_bad_links(self) -> List[DirectedLink]:
-        """The injected failed directed links."""
+        """The statically injected failed directed links."""
         return list(self.failure_scenario.bad_links)
+
+    def truth_for_epoch(self, epoch_index: int = 0) -> FailureScenario:
+        """The failure ground truth that was live during one epoch."""
+        if self.truth_by_epoch:
+            return self.truth_by_epoch[epoch_index]
+        return self.failure_scenario
 
     def true_flow_causes(self, epoch_index: int = 0) -> Dict[int, Optional[DirectedLink]]:
         """Ground-truth culprit per flow with retransmissions in an epoch."""
@@ -128,7 +148,7 @@ class ScenarioResult:
 
     def flows_through_bad_links(self, epoch_index: int = 0) -> List[int]:
         """IDs of flows (with retransmissions) whose drops hit an injected failure."""
-        bad = set(self.failure_scenario.bad_links)
+        bad = set(self.truth_for_epoch(epoch_index).bad_links)
         epoch = self.epoch_results[epoch_index]
         return [
             flow.flow_id
@@ -149,10 +169,42 @@ class ScenarioResult:
         )
 
     def detection_007(self, epoch_index: int = 0) -> DetectionScore:
-        """Precision/recall of Algorithm 1 against the injected failures."""
+        """Precision/recall of Algorithm 1 against that epoch's ground truth."""
         report = self.reports[epoch_index]
         return detection_precision_recall(
-            report.detected_links, self.failure_scenario.bad_links
+            report.detected_links, self.truth_for_epoch(epoch_index).bad_links
+        )
+
+    # ------------------------------------------------------------------
+    # time-aware scoring (dynamic scenarios)
+    # ------------------------------------------------------------------
+    def detected_by_epoch(self) -> List[List[DirectedLink]]:
+        """The links 007 flagged, one list per epoch."""
+        return [list(report.detected_links) for report in self.reports]
+
+    def _truth_links_by_epoch(self) -> List[List[DirectedLink]]:
+        return [
+            list(self.truth_for_epoch(i).bad_links) for i in range(len(self.reports))
+        ]
+
+    def per_epoch_detection_007(self) -> List[DetectionScore]:
+        """Algorithm 1 precision/recall per epoch against per-epoch truth."""
+        return per_epoch_detection(self.detected_by_epoch(), self._truth_links_by_epoch())
+
+    def time_to_detection_007(self) -> Dict[DirectedLink, Optional[int]]:
+        """Epochs from each failure's onset to its first in-window detection."""
+        return time_to_detection(self.detected_by_epoch(), self._truth_links_by_epoch())
+
+    def mean_time_to_detection_007(self) -> float:
+        """Mean detection latency in epochs (``nan`` when nothing was detected)."""
+        return mean_time_to_detection(
+            self.detected_by_epoch(), self._truth_links_by_epoch()
+        )
+
+    def false_alarm_rate_007(self) -> float:
+        """Rate of stale detections after failures cleared (``nan`` if none cleared)."""
+        return false_alarm_rate_after_clear(
+            self.detected_by_epoch(), self._truth_links_by_epoch()
         )
 
     # ------------------------------------------------------------------
@@ -298,6 +350,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         link_table=link_table,
         config=system_config,
         rng=config.seed,
+        script=config.script,
     )
     runs = system.run(config.epochs)
     epoch_results = [sim for sim, _ in runs]
@@ -309,6 +362,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         epoch_results=epoch_results,
         reports=reports,
         system=system,
+        truth_by_epoch=[system.ground_truth(r.epoch) for r in epoch_results],
     )
 
 
@@ -319,6 +373,9 @@ def run_trials(
     results = []
     for trial in range(trials):
         seed = (base_seed if base_seed is not None else config.seed) + 1000 * trial
-        trial_config = ScenarioConfig(**{**config.__dict__, "seed": seed})
+        # Deep-copy the nested mutable config: ``replace(config, ...)`` alone
+        # would alias one BlameConfig instance across every trial (the same
+        # class of bug Zero07System fixes for SystemConfig/SimulationConfig).
+        trial_config = replace(config, seed=seed, blame=replace(config.blame))
         results.append(run_scenario(trial_config))
     return results

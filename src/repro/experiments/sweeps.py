@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Mapping, Optional
 
+import numpy as np
+
 from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, ScenarioResult
 
@@ -59,6 +61,40 @@ def metric_recall_binary(result: ScenarioResult) -> float:
 
 
 # ----------------------------------------------------------------------
+# time-aware metrics (dynamic scenarios with per-epoch ground truth)
+# ----------------------------------------------------------------------
+def metric_mean_epoch_precision_007(result: ScenarioResult) -> float:
+    """Mean per-epoch detection precision across the whole timeline."""
+    scores = result.per_epoch_detection_007()
+    return float(np.mean([s.precision for s in scores])) if scores else float("nan")
+
+
+def metric_mean_epoch_recall_007(result: ScenarioResult) -> float:
+    """Mean per-epoch detection recall across the whole timeline."""
+    scores = result.per_epoch_detection_007()
+    return float(np.mean([s.recall for s in scores])) if scores else float("nan")
+
+
+def metric_time_to_detection_007(result: ScenarioResult) -> float:
+    """Mean epochs from failure onset to first in-window detection."""
+    return result.mean_time_to_detection_007()
+
+
+def metric_false_alarm_rate_007(result: ScenarioResult) -> float:
+    """Rate of stale detections after failures cleared."""
+    return result.false_alarm_rate_007()
+
+
+def metric_detected_fraction_007(result: ScenarioResult) -> float:
+    """Fraction of ever-bad links detected during at least one of their bad epochs."""
+    latencies = result.time_to_detection_007()
+    if not latencies:
+        return float("nan")
+    detected = sum(1 for latency in latencies.values() if latency is not None)
+    return detected / len(latencies)
+
+
+# ----------------------------------------------------------------------
 def average_over_trials(
     config: ScenarioConfig,
     metric_fns: Mapping[str, MetricFn],
@@ -95,6 +131,17 @@ def standard_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:
             }
         )
     return metrics
+
+
+def dynamic_metrics() -> Dict[str, MetricFn]:
+    """The time-aware metric set for dynamic (scripted) scenarios."""
+    return {
+        "mean_epoch_precision_007": metric_mean_epoch_precision_007,
+        "mean_epoch_recall_007": metric_mean_epoch_recall_007,
+        "time_to_detection_007": metric_time_to_detection_007,
+        "false_alarm_rate_007": metric_false_alarm_rate_007,
+        "detected_fraction_007": metric_detected_fraction_007,
+    }
 
 
 def accuracy_metrics(include_baselines: bool = True) -> Dict[str, MetricFn]:

@@ -3,13 +3,21 @@
 from repro.metrics.evaluation import (
     DetectionScore,
     detection_precision_recall,
+    false_alarm_rate_after_clear,
+    mean_time_to_detection,
+    per_epoch_detection,
     per_flow_accuracy,
+    time_to_detection,
     top_k_recall,
 )
 
 __all__ = [
     "DetectionScore",
     "detection_precision_recall",
+    "false_alarm_rate_after_clear",
+    "mean_time_to_detection",
+    "per_epoch_detection",
     "per_flow_accuracy",
+    "time_to_detection",
     "top_k_recall",
 ]

@@ -111,6 +111,127 @@ def per_flow_accuracy(
     return correct / len(eligible)
 
 
+# ----------------------------------------------------------------------
+# time-aware scoring (dynamic scenarios)
+# ----------------------------------------------------------------------
+def _check_epoch_alignment(
+    detected_by_epoch: Sequence, truth_by_epoch: Sequence
+) -> None:
+    """All time-aware scorers require one detection set per truth epoch."""
+    if len(detected_by_epoch) != len(truth_by_epoch):
+        raise ValueError(
+            f"epoch count mismatch: {len(detected_by_epoch)} detection sets vs "
+            f"{len(truth_by_epoch)} truth sets"
+        )
+
+
+def per_epoch_detection(
+    detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    physical: bool = False,
+) -> list:
+    """Score every epoch's detections against that epoch's ground truth.
+
+    Both sequences are epoch-ordered and must have equal length; entry ``i``
+    of the result is the :class:`DetectionScore` of epoch ``i``.  This is the
+    dynamic-scenario generalisation of :func:`detection_precision_recall`:
+    when failures flap on and off, a link counts as a true positive only in
+    the epochs where it was genuinely bad.
+    """
+    _check_epoch_alignment(detected_by_epoch, truth_by_epoch)
+    return [
+        detection_precision_recall(detected, truth, physical=physical)
+        for detected, truth in zip(detected_by_epoch, truth_by_epoch)
+    ]
+
+
+def _active_epochs(
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]], physical: bool
+) -> Dict:
+    """Map each ever-bad link to the sorted list of epochs it was bad in."""
+    active: Dict = {}
+    for epoch, truth in enumerate(truth_by_epoch):
+        for link in _normalize(truth, physical):
+            active.setdefault(link, []).append(epoch)
+    return active
+
+
+def time_to_detection(
+    detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    physical: bool = False,
+) -> Dict:
+    """Detection latency (in epochs) for every link that ever went bad.
+
+    For each link appearing in the ground truth of any epoch: the number of
+    epochs between the link first becoming bad and the first epoch in which
+    007 flagged it *while it was bad* (0 = caught in the first bad epoch).
+    ``None`` when the link was never flagged during any of its bad epochs —
+    detections of an already-cleared link do not count; they are false alarms,
+    measured by :func:`false_alarm_rate_after_clear`.
+    """
+    _check_epoch_alignment(detected_by_epoch, truth_by_epoch)
+    detected_sets = [_normalize(d, physical) for d in detected_by_epoch]
+    latencies: Dict = {}
+    for link, epochs in _active_epochs(truth_by_epoch, physical).items():
+        first_bad = epochs[0]
+        latencies[link] = None
+        for epoch in epochs:
+            if link in detected_sets[epoch]:
+                latencies[link] = epoch - first_bad
+                break
+    return latencies
+
+
+def mean_time_to_detection(
+    detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    physical: bool = False,
+) -> float:
+    """Mean detection latency over the links that *were* detected (``nan`` if none)."""
+    latencies = [
+        latency
+        for latency in time_to_detection(
+            detected_by_epoch, truth_by_epoch, physical=physical
+        ).values()
+        if latency is not None
+    ]
+    if not latencies:
+        return float("nan")
+    return float(sum(latencies)) / len(latencies)
+
+
+def false_alarm_rate_after_clear(
+    detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    physical: bool = False,
+) -> float:
+    """How often 007 keeps blaming a link after its failure has cleared.
+
+    Over every (link, epoch) pair where the link is *not* bad in that epoch
+    but had been bad in some earlier epoch: the fraction in which the link is
+    still flagged.  0.0 means the votes decay cleanly once a transient clears
+    (the paper's requirement that stale failures stop drawing blame);
+    ``nan`` when no failure ever cleared inside the observed window.
+    """
+    _check_epoch_alignment(detected_by_epoch, truth_by_epoch)
+    detected_sets = [_normalize(d, physical) for d in detected_by_epoch]
+    truth_sets = [_normalize(t, physical) for t in truth_by_epoch]
+    alarms = 0
+    opportunities = 0
+    for link, epochs in _active_epochs(truth_by_epoch, physical).items():
+        first_bad = epochs[0]
+        for epoch in range(first_bad + 1, len(truth_sets)):
+            if link in truth_sets[epoch]:
+                continue
+            opportunities += 1
+            if link in detected_sets[epoch]:
+                alarms += 1
+    if opportunities == 0:
+        return float("nan")
+    return alarms / opportunities
+
+
 def top_k_recall(
     ranked_links: Sequence[DirectedLink],
     true_bad: Iterable[DirectedLink],

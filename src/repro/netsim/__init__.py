@@ -19,7 +19,24 @@ from repro.netsim.traffic import (
     UniformTraffic,
 )
 from repro.netsim.events import ConnectionSetupFailureEvent, RetransmissionEvent
-from repro.netsim.failures import FailureInjector, FailureScenario, VmRebootModel
+from repro.netsim.failures import (
+    FailureInjector,
+    FailureScenario,
+    TransientFailure,
+    TransientFailureSchedule,
+    VmRebootModel,
+)
+from repro.netsim.script import (
+    CompiledScenarioScript,
+    CongestionBurst,
+    LinkDrain,
+    LinkFlap,
+    ScenarioScript,
+    SwitchReboot,
+    TrafficShift,
+    random_burst_script,
+    random_flap_script,
+)
 from repro.netsim.simulator import EpochResult, EpochSimulator, SimulationConfig
 
 __all__ = [
@@ -37,7 +54,18 @@ __all__ = [
     "ConnectionSetupFailureEvent",
     "FailureInjector",
     "FailureScenario",
+    "TransientFailure",
+    "TransientFailureSchedule",
     "VmRebootModel",
+    "CompiledScenarioScript",
+    "CongestionBurst",
+    "LinkDrain",
+    "LinkFlap",
+    "ScenarioScript",
+    "SwitchReboot",
+    "TrafficShift",
+    "random_burst_script",
+    "random_flap_script",
     "EpochResult",
     "EpochSimulator",
     "SimulationConfig",

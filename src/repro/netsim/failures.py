@@ -172,12 +172,23 @@ class FailureInjector:
 
 @dataclass
 class TransientFailure:
-    """A failure active only for a window of epochs (link flap / congestion burst)."""
+    """A failure active only for a window of epochs (link flap / congestion burst).
+
+    ``blackhole=True`` takes the physical link fully down while active (drops
+    traceroute probes too), modelling an operator drain or a dead cable rather
+    than a lossy one.
+    """
 
     link: DirectedLink
     drop_rate: float
     start_epoch: int
     duration_epochs: int
+    blackhole: bool = False
+
+    @property
+    def end_epoch(self) -> int:
+        """First epoch after the failure has cleared."""
+        return self.start_epoch + self.duration_epochs
 
     def active(self, epoch: int) -> bool:
         """True when the failure is active during ``epoch``."""
@@ -185,30 +196,117 @@ class TransientFailure:
 
 
 class TransientFailureSchedule:
-    """Applies/clears transient failures as epochs advance."""
+    """Applies/clears transient failures as epochs advance.
+
+    Transients compose with pre-existing (static) failures: before overriding
+    a link the schedule captures the link's baseline state — injected drop
+    rate and down-ness, for *both* directions, since
+    :meth:`LinkStateTable.clear_failure` resets the whole physical link — and
+    restores it once every transient touching the physical link has cleared.
+    When several active transients target the same directed link in one
+    epoch, the most severe wins (blackhole first, then highest drop rate),
+    and the returned scenario reports the rate actually in effect.
+    """
 
     def __init__(self, link_table: LinkStateTable) -> None:
         self._link_table = link_table
         self._failures: List[TransientFailure] = []
         self._currently_active: Set[DirectedLink] = set()
+        #: pre-transient injected drop rate per direction (``None`` = the
+        #: direction carried no injected failure, just noise).
+        self._baseline_rate: Dict[DirectedLink, Optional[float]] = {}
+        #: pre-transient down-ness per physical link (doubles as the marker
+        #: that a baseline was captured for that physical).
+        self._baseline_down: Dict[Link, bool] = {}
 
     def add(self, failure: TransientFailure) -> None:
         """Register a transient failure."""
         self._failures.append(failure)
 
+    @property
+    def failures(self) -> List[TransientFailure]:
+        """The registered transient failures (in registration order)."""
+        return list(self._failures)
+
+    @property
+    def horizon(self) -> int:
+        """First epoch at which every registered failure has cleared."""
+        return max((f.end_epoch for f in self._failures), default=0)
+
+    def active_at(self, epoch: int) -> List[TransientFailure]:
+        """The failures active during ``epoch`` (registration order)."""
+        return [f for f in self._failures if f.active(epoch)]
+
+    # ------------------------------------------------------------------
+    def _capture_baseline(self, link: DirectedLink) -> None:
+        """Remember the pre-transient state of ``link``'s physical link."""
+        physical = link.undirected()
+        if physical in self._baseline_down:
+            return  # already captured while another transient was active
+        self._baseline_down[physical] = self._link_table.is_down(physical)
+        for direction in physical.directions():
+            self._baseline_rate[direction] = (
+                self._link_table.drop_probability(direction)
+                if self._link_table.is_failed(direction)
+                else None
+            )
+
+    def _restore_baseline(
+        self, link: DirectedLink, desired: Dict[DirectedLink, TransientFailure]
+    ) -> None:
+        """Re-apply the captured baseline after ``clear_failure`` wiped it."""
+        physical = link.undirected()
+        if physical not in self._baseline_down:
+            return
+        directions = physical.directions()
+        for direction in directions:
+            if direction in desired:
+                continue  # a still-active transient re-applies right after
+            rate = self._baseline_rate.get(direction)
+            if rate is not None:
+                self._link_table.inject_failure(direction, rate)
+        if any(direction in desired for direction in directions):
+            return  # keep the baseline until the physical link is fully quiet
+        if self._baseline_down.pop(physical):
+            self._link_table.set_link_down(physical)
+        for direction in directions:
+            self._baseline_rate.pop(direction, None)
+
     def apply_epoch(self, epoch: int) -> FailureScenario:
         """Activate/deactivate failures for ``epoch``; returns the active scenario."""
+        active = self.active_at(epoch)
+        desired: Dict[DirectedLink, TransientFailure] = {}
+        for failure in active:
+            current = desired.get(failure.link)
+            if current is None or (failure.blackhole, failure.drop_rate) > (
+                current.blackhole,
+                current.drop_rate,
+            ):
+                desired[failure.link] = failure
+        down_physicals = {f.link.undirected() for f in active if f.blackhole}
+
+        # Deactivate expired failures first (clear_failure resets the whole
+        # physical link), then restore the captured baselines in a second
+        # pass so clearing one direction cannot wipe a just-restored reverse.
+        cleared = [link for link in self._currently_active if link not in desired]
+        for link in cleared:
+            self._link_table.clear_failure(link)
+            self._currently_active.discard(link)
+        for link in cleared:
+            self._restore_baseline(link, desired)
+
         scenario = FailureScenario()
-        desired = {f.link: f.drop_rate for f in self._failures if f.active(epoch)}
-        for link in list(self._currently_active):
-            if link not in desired:
-                self._link_table.clear_failure(link)
-                self._currently_active.discard(link)
-        for link, rate in desired.items():
-            self._link_table.inject_failure(link, rate)
+        for link, failure in desired.items():
+            if link not in self._currently_active:
+                self._capture_baseline(link)
+            blackholed = link.undirected() in down_physicals
+            if blackholed:
+                self._link_table.set_link_down(link)
+            else:
+                self._link_table.inject_failure(link, failure.drop_rate)
             self._currently_active.add(link)
             scenario.bad_links.append(link)
-            scenario.drop_rates[link] = rate
+            scenario.drop_rates[link] = 1.0 if blackholed else failure.drop_rate
         return scenario
 
 

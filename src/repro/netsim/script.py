@@ -1,0 +1,507 @@
+"""Declarative time-varying scenario scripts.
+
+The paper's production story is dynamic: links flap, congestion comes and
+goes in bursts, switches reboot (changing their proprietary ECMP seeds), and
+operators drain links — all while 007 keeps voting (Sections 6.6, 8.3).  A
+:class:`ScenarioScript` captures such a timeline declaratively as a list of
+*events* pinned to epochs:
+
+>>> script = (
+...     ScenarioScript()
+...     .flap(start=2, duration=3, drop_rate=0.01, level=LinkLevel.LEVEL1)
+...     .burst(start=6, duration=2, level=LinkLevel.LEVEL2, num_links=3)
+...     .reboot_switch(epoch=9, tier=SwitchTier.T1)
+... )
+
+Scripts carry no topology references, so they are cheap to build, picklable
+(the sweep runner ships them to worker processes inside a
+:class:`~repro.experiments.scenario.ScenarioConfig`), and reusable across
+fabrics.  :meth:`ScenarioScript.compile` resolves them against a concrete
+topology/link table/router into a :class:`CompiledScenarioScript`, which
+drives a :class:`~repro.netsim.failures.TransientFailureSchedule` (and the
+router's ECMP reseeds, and traffic-generator swaps) epoch by epoch, returning
+the per-epoch ground-truth :class:`~repro.netsim.failures.FailureScenario`.
+
+Events with ``link=None``/``switch=None`` pick a random target of the given
+level/tier at compile time, so one script describes a *family* of scenarios
+whose concrete victims vary with the compile seed.  The module also ships
+random-schedule generators (:func:`random_flap_script`,
+:func:`random_burst_script`) for fuzzing-style studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.netsim.failures import FailureScenario, TransientFailure, TransientFailureSchedule
+from repro.netsim.links import LinkStateTable
+from repro.netsim.traffic import (
+    HotTorTraffic,
+    SkewedTraffic,
+    TrafficGenerator,
+    UniformTraffic,
+)
+from repro.topology.clos import ClosTopology
+from repro.topology.elements import DirectedLink, Link, LinkLevel, SwitchTier
+from repro.util.rng import RngLike, ensure_rng
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkFlap:
+    """A lossy link for a window of epochs (the classic flapping optic)."""
+
+    start_epoch: int
+    duration_epochs: int
+    drop_rate: float = 0.01
+    #: concrete victim; when ``None`` a random directed link of ``level`` is
+    #: chosen at compile time.
+    link: Optional[DirectedLink] = None
+    level: Optional[LinkLevel] = None
+
+    @property
+    def end_epoch(self) -> int:
+        return self.start_epoch + self.duration_epochs
+
+
+@dataclass(frozen=True)
+class CongestionBurst:
+    """Several links of one level dropping at once (a congestion episode)."""
+
+    start_epoch: int
+    duration_epochs: int
+    level: LinkLevel = LinkLevel.LEVEL2
+    num_links: int = 3
+    drop_rate: float = 5e-3
+
+    @property
+    def end_epoch(self) -> int:
+        return self.start_epoch + self.duration_epochs
+
+
+@dataclass(frozen=True)
+class SwitchReboot:
+    """A switch goes dark for ``outage_epochs`` and comes back with a new ECMP seed.
+
+    During the outage every link adjacent to the switch blackholes (as the
+    paper's traceroutes would observe); when the switch returns its hash seed
+    is re-drawn — the paper notes ECMP functions change across reboots, which
+    is why 007 measures paths instead of computing them.
+    """
+
+    epoch: int
+    outage_epochs: int = 1
+    #: concrete switch name; when ``None`` a random switch of ``tier`` reboots.
+    switch: Optional[str] = None
+    tier: Optional[SwitchTier] = SwitchTier.T1
+
+    @property
+    def end_epoch(self) -> int:
+        # +1: the switch returns (and is reseeded) during the epoch after the
+        # outage, so that epoch is still part of the event.
+        return self.epoch + max(1, self.outage_epochs) + 1
+
+
+@dataclass(frozen=True)
+class LinkDrain:
+    """An operator drains a physical link (fully down, both directions)."""
+
+    start_epoch: int
+    duration_epochs: int
+    link: Optional[Link] = None
+    level: Optional[LinkLevel] = None
+
+    @property
+    def end_epoch(self) -> int:
+        return self.start_epoch + self.duration_epochs
+
+
+@dataclass(frozen=True)
+class TrafficShift:
+    """Swap the traffic generator from ``epoch`` onward (workload change).
+
+    Unset connection/packet parameters are inherited from the generator active
+    at the time of the shift.
+    """
+
+    epoch: int
+    traffic: str = "uniform"  # "uniform" | "skewed" | "hot_tor"
+    connections_per_host: Optional[Union[int, Tuple[int, int]]] = None
+    packets_per_flow: Optional[Union[int, Tuple[int, int]]] = None
+    num_hot_tors: int = 3
+    hot_fraction: float = 0.8
+    hot_tor_skew: float = 0.5
+
+    @property
+    def end_epoch(self) -> int:
+        # the shift takes effect during ``epoch`` itself
+        return self.epoch + 1
+
+
+ScenarioEvent = Union[LinkFlap, CongestionBurst, SwitchReboot, LinkDrain, TrafficShift]
+
+
+# ----------------------------------------------------------------------
+# the script
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioScript:
+    """A declarative, topology-free timeline of scenario events."""
+
+    events: List[ScenarioEvent] = field(default_factory=list)
+
+    # -- builder API ----------------------------------------------------
+    def add(self, event: ScenarioEvent) -> "ScenarioScript":
+        """Append one event; returns ``self`` for chaining."""
+        self.events.append(event)
+        return self
+
+    def flap(
+        self,
+        start: int,
+        duration: int,
+        drop_rate: float = 0.01,
+        link: Optional[DirectedLink] = None,
+        level: Optional[LinkLevel] = None,
+    ) -> "ScenarioScript":
+        """A link flaps (drops at ``drop_rate``) during ``[start, start+duration)``."""
+        return self.add(
+            LinkFlap(
+                start_epoch=start,
+                duration_epochs=duration,
+                drop_rate=drop_rate,
+                link=link,
+                level=level,
+            )
+        )
+
+    def burst(
+        self,
+        start: int,
+        duration: int,
+        level: LinkLevel = LinkLevel.LEVEL2,
+        num_links: int = 3,
+        drop_rate: float = 5e-3,
+    ) -> "ScenarioScript":
+        """``num_links`` random links of ``level`` congest together."""
+        return self.add(
+            CongestionBurst(
+                start_epoch=start,
+                duration_epochs=duration,
+                level=level,
+                num_links=num_links,
+                drop_rate=drop_rate,
+            )
+        )
+
+    def reboot_switch(
+        self,
+        epoch: int,
+        switch: Optional[str] = None,
+        tier: Optional[SwitchTier] = SwitchTier.T1,
+        outage_epochs: int = 1,
+    ) -> "ScenarioScript":
+        """A switch goes down for ``outage_epochs`` and returns reseeded."""
+        return self.add(
+            SwitchReboot(epoch=epoch, outage_epochs=outage_epochs, switch=switch, tier=tier)
+        )
+
+    def drain(
+        self,
+        start: int,
+        duration: int,
+        link: Optional[Link] = None,
+        level: Optional[LinkLevel] = None,
+    ) -> "ScenarioScript":
+        """A physical link is drained (blackholed) during the window."""
+        return self.add(
+            LinkDrain(start_epoch=start, duration_epochs=duration, link=link, level=level)
+        )
+
+    def shift_traffic(self, epoch: int, traffic: str = "uniform", **kwargs) -> "ScenarioScript":
+        """Swap the workload from ``epoch`` onward."""
+        return self.add(TrafficShift(epoch=epoch, traffic=traffic, **kwargs))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """First epoch at which every event has finished (0 for empty scripts)."""
+        return max((event.end_epoch for event in self.events), default=0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- compilation ----------------------------------------------------
+    def compile(
+        self,
+        topology: ClosTopology,
+        link_table: LinkStateTable,
+        router=None,
+        rng: RngLike = 0,
+    ) -> "CompiledScenarioScript":
+        """Resolve the script against a concrete fabric.
+
+        Random victims (events with ``link=None``/``switch=None``) are drawn
+        here from ``rng``, so the same seed always yields the same concrete
+        scenario — both analysis engines compile to identical timelines.
+        """
+        return CompiledScenarioScript(self, topology, link_table, router=router, rng=rng)
+
+
+class CompiledScenarioScript:
+    """A :class:`ScenarioScript` bound to a topology/link table/router.
+
+    Call :meth:`apply_epoch` at the start of every epoch (the pipeline does
+    this): it activates/clears the epoch's transient failures, performs due
+    ECMP reseeds, and returns the epoch's active ground-truth scenario.
+    """
+
+    def __init__(
+        self,
+        script: ScenarioScript,
+        topology: ClosTopology,
+        link_table: LinkStateTable,
+        router=None,
+        rng: RngLike = 0,
+    ) -> None:
+        self._topology = topology
+        self._router = router
+        self._rng = ensure_rng(rng)
+        self._schedule = TransientFailureSchedule(link_table)
+        #: epoch -> switches whose ECMP seed is re-drawn once that epoch (or
+        #: any later one) is applied; entries are consumed when they fire.
+        self._reseeds: Dict[int, List[str]] = {}
+        #: epoch -> traffic shift taking effect from that epoch onward.
+        self._shifts: Dict[int, TrafficShift] = {}
+        #: epoch of the shift most recently handed out (so a shift fires once
+        #: even when epochs are driven from a nonzero start or with gaps).
+        self._applied_shift_epoch: Optional[int] = None
+        for event in script.events:
+            self._resolve(event)
+
+    # -- event resolution ----------------------------------------------
+    def _resolve(self, event: ScenarioEvent) -> None:
+        if isinstance(event, LinkFlap):
+            link = event.link if event.link is not None else self._random_directed_link(
+                event.level if event.level is not None else LinkLevel.LEVEL1
+            )
+            self._schedule.add(
+                TransientFailure(
+                    link=link,
+                    drop_rate=event.drop_rate,
+                    start_epoch=event.start_epoch,
+                    duration_epochs=event.duration_epochs,
+                )
+            )
+        elif isinstance(event, CongestionBurst):
+            for link in self._random_directed_links(event.level, event.num_links):
+                self._schedule.add(
+                    TransientFailure(
+                        link=link,
+                        drop_rate=event.drop_rate,
+                        start_epoch=event.start_epoch,
+                        duration_epochs=event.duration_epochs,
+                    )
+                )
+        elif isinstance(event, SwitchReboot):
+            switch = event.switch if event.switch is not None else self._random_switch(
+                event.tier if event.tier is not None else SwitchTier.T1
+            )
+            outage = max(1, event.outage_epochs)
+            for physical in self._topology.links_of_node(switch):
+                for direction in physical.directions():
+                    self._schedule.add(
+                        TransientFailure(
+                            link=direction,
+                            drop_rate=1.0,
+                            start_epoch=event.epoch,
+                            duration_epochs=outage,
+                            blackhole=True,
+                        )
+                    )
+            self._reseeds.setdefault(event.epoch + outage, []).append(switch)
+        elif isinstance(event, LinkDrain):
+            physical = event.link if event.link is not None else self._random_physical_link(
+                event.level if event.level is not None else LinkLevel.LEVEL1
+            )
+            for direction in physical.directions():
+                self._schedule.add(
+                    TransientFailure(
+                        link=direction,
+                        drop_rate=1.0,
+                        start_epoch=event.start_epoch,
+                        duration_epochs=event.duration_epochs,
+                        blackhole=True,
+                    )
+                )
+        elif isinstance(event, TrafficShift):
+            self._shifts[event.epoch] = event
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown scenario event {event!r}")
+
+    # -- random victim selection ----------------------------------------
+    def _level_candidates(self, level: LinkLevel) -> List[Link]:
+        candidates = sorted(self._topology.links_of_level(level))
+        if not candidates:
+            raise ValueError(f"topology has no links of level {level!r}")
+        return candidates
+
+    def _random_physical_link(self, level: LinkLevel) -> Link:
+        candidates = self._level_candidates(level)
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def _random_directed_link(self, level: LinkLevel) -> DirectedLink:
+        directed = [d for link in self._level_candidates(level) for d in link.directions()]
+        return directed[int(self._rng.integers(0, len(directed)))]
+
+    def _random_directed_links(self, level: LinkLevel, count: int) -> List[DirectedLink]:
+        directed = [d for link in self._level_candidates(level) for d in link.directions()]
+        if count > len(directed):
+            raise ValueError(
+                f"cannot pick {count} links, level {level!r} only has {len(directed)}"
+            )
+        chosen = self._rng.choice(len(directed), size=count, replace=False)
+        return [directed[int(i)] for i in sorted(int(i) for i in chosen)]
+
+    def _random_switch(self, tier: SwitchTier) -> str:
+        names = sorted(s.name for s in self._topology.switches_of_tier(tier))
+        if not names:
+            raise ValueError(f"topology has no switches of tier {tier!r}")
+        return names[int(self._rng.integers(0, len(names)))]
+
+    # -- epoch driving ---------------------------------------------------
+    @property
+    def schedule(self) -> TransientFailureSchedule:
+        """The underlying transient-failure schedule (resolved events)."""
+        return self._schedule
+
+    @property
+    def horizon(self) -> int:
+        """First epoch at which every resolved failure/reseed/shift has finished."""
+        reseed_horizon = max((epoch + 1 for epoch in self._reseeds), default=0)
+        shift_horizon = max((epoch + 1 for epoch in self._shifts), default=0)
+        return max(self._schedule.horizon, reseed_horizon, shift_horizon)
+
+    def apply_epoch(self, epoch: int) -> FailureScenario:
+        """Apply all state changes due at ``epoch``; returns the active scenario.
+
+        Reseeds due at or before ``epoch`` that have not fired yet fire now
+        (in due-epoch order), so switches still come back reseeded when epochs
+        are driven from a nonzero start or with gaps.
+        """
+        for due in sorted(e for e in self._reseeds if e <= epoch):
+            for switch in self._reseeds.pop(due):
+                if self._router is not None:
+                    self._router.reseed_switch(switch, rng=self._rng)
+        return self._schedule.apply_epoch(epoch)
+
+    def traffic_for_epoch(
+        self, epoch: int, current: Optional[TrafficGenerator] = None
+    ) -> Optional[TrafficGenerator]:
+        """The new traffic generator in effect from ``epoch`` (``None`` = keep).
+
+        Returns the generator of the latest shift at or before ``epoch`` the
+        first time that shift is seen — also when epochs start late or skip —
+        and ``None`` while no new shift applies.  Unset connection/packet
+        parameters inherit from ``current``.
+        """
+        due = [e for e in self._shifts if e <= epoch]
+        if not due:
+            return None
+        latest = max(due)
+        if latest == self._applied_shift_epoch:
+            return None
+        self._applied_shift_epoch = latest
+        shift = self._shifts[latest]
+        connections = shift.connections_per_host
+        packets = shift.packets_per_flow
+        if connections is None:
+            connections = current.connections_per_host if current is not None else 60
+        if packets is None:
+            packets = current.packets_per_flow if current is not None else 100
+        if shift.traffic == "uniform":
+            return UniformTraffic(
+                self._topology,
+                connections_per_host=connections,
+                packets_per_flow=packets,
+            )
+        if shift.traffic == "skewed":
+            return SkewedTraffic(
+                self._topology,
+                connections_per_host=connections,
+                packets_per_flow=packets,
+                num_hot_tors=shift.num_hot_tors,
+                hot_fraction=shift.hot_fraction,
+            )
+        if shift.traffic == "hot_tor":
+            return HotTorTraffic(
+                self._topology,
+                skew=shift.hot_tor_skew,
+                connections_per_host=connections,
+                packets_per_flow=packets,
+            )
+        raise ValueError(f"unknown traffic kind {shift.traffic!r}")
+
+
+# ----------------------------------------------------------------------
+# random-schedule generators
+# ----------------------------------------------------------------------
+def random_flap_script(
+    num_flaps: int,
+    epochs: int,
+    rng: RngLike = 0,
+    levels: Sequence[LinkLevel] = (LinkLevel.LEVEL1, LinkLevel.LEVEL2),
+    drop_rate_range: Tuple[float, float] = (1e-3, 1e-2),
+    duration_range: Tuple[int, int] = (1, 3),
+) -> ScenarioScript:
+    """A script of ``num_flaps`` random link flaps inside ``epochs`` epochs.
+
+    Start epochs, durations, drop rates and levels are drawn from ``rng``;
+    the concrete victim links are still resolved at compile time, so the
+    script itself stays topology-free.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    generator = ensure_rng(rng)
+    script = ScenarioScript()
+    low, high = duration_range
+    for _ in range(num_flaps):
+        duration = int(generator.integers(low, high + 1))
+        start = int(generator.integers(0, max(1, epochs - duration + 1)))
+        script.flap(
+            start=start,
+            duration=duration,
+            drop_rate=float(generator.uniform(*drop_rate_range)),
+            level=levels[int(generator.integers(0, len(levels)))],
+        )
+    return script
+
+
+def random_burst_script(
+    num_bursts: int,
+    epochs: int,
+    rng: RngLike = 0,
+    level: LinkLevel = LinkLevel.LEVEL2,
+    links_per_burst: Tuple[int, int] = (2, 4),
+    drop_rate_range: Tuple[float, float] = (2e-3, 2e-2),
+    duration_range: Tuple[int, int] = (1, 2),
+) -> ScenarioScript:
+    """A script of ``num_bursts`` random congestion bursts inside ``epochs``."""
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    generator = ensure_rng(rng)
+    script = ScenarioScript()
+    for _ in range(num_bursts):
+        duration = int(generator.integers(duration_range[0], duration_range[1] + 1))
+        start = int(generator.integers(0, max(1, epochs - duration + 1)))
+        script.burst(
+            start=start,
+            duration=duration,
+            level=level,
+            num_links=int(generator.integers(links_per_burst[0], links_per_burst[1] + 1)),
+            drop_rate=float(generator.uniform(*drop_rate_range)),
+        )
+    return script

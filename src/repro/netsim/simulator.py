@@ -144,6 +144,15 @@ class EpochSimulator:
     def config(self) -> SimulationConfig:
         return self._config
 
+    @property
+    def traffic(self) -> TrafficGenerator:
+        """The traffic generator driving the epochs."""
+        return self._traffic
+
+    def set_traffic(self, traffic: TrafficGenerator) -> None:
+        """Swap the traffic generator (time-varying scenarios shift workloads)."""
+        self._traffic = traffic
+
     def subscribe(self, callback: EventCallback) -> None:
         """Register a callback invoked with every host-observable event."""
         self._subscribers.append(callback)

@@ -67,6 +67,16 @@ class TrafficGenerator(abc.ABC):
         """The topology demands are generated for."""
         return self._topology
 
+    @property
+    def connections_per_host(self) -> int | Tuple[int, int]:
+        """The configured per-host connection count (fixed value or range)."""
+        return self._connections_per_host
+
+    @property
+    def packets_per_flow(self) -> int | Tuple[int, int]:
+        """The configured per-flow packet count (fixed value or range)."""
+        return self._packets_per_flow
+
     @abc.abstractmethod
     def pick_destination(
         self, rng: np.random.Generator, src_host: str

@@ -2,11 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.netsim.links import LinkStateTable
 from repro.routing.ecmp import EcmpRouter
 from repro.topology.clos import ClosParameters, ClosTopology
+
+# ----------------------------------------------------------------------
+# hypothesis profiles (property-based tests)
+#
+# "ci" is fully derandomized — every run replays the same example sequence,
+# so the pipeline can never flake on a freshly generated edge case.  "dev"
+# (the default) explores new examples locally but keeps the same budget.
+# Select with HYPOTHESIS_PROFILE=ci.
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+else:
+    _common = dict(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.register_profile("ci", derandomize=True, **_common)
+    _hyp_settings.register_profile("dev", **_common)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,115 @@
+"""Golden-report regression tests.
+
+Fixed-seed static *and* dynamic scenarios snapshot the user-visible content
+of their :class:`~repro.core.analysis.EpochReport`s — per-epoch ground truth,
+detected links, the top of the vote tally (exact floats), and flow-cause
+counts — into JSON files under ``tests/golden/``.  Future refactors (engine
+rewrites, tally changes, schedule changes) cannot silently change results:
+any drift fails these tests and forces a deliberate golden update.
+
+To regenerate after an *intentional* behaviour change, delete the stale file
+and run this module once (it rewrites missing files and fails, asking for a
+re-run), or run ``python -m tests.test_golden_reports`` style regeneration:
+
+    rm tests/golden/<name>.json
+    PYTHONPATH=src python -m pytest tests/test_golden_reports.py
+
+JSON floats round-trip exactly in Python, so the comparison is bit-exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.netsim.script import ScenarioScript
+from repro.topology.elements import LinkLevel
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: small fabric so the snapshots stay fast and the files stay reviewable.
+FAST = dict(npod=2, n0=4, n1=2, n2=2, hosts_per_tor=2, connections_per_host=25)
+
+
+def _static_config() -> ScenarioConfig:
+    return ScenarioConfig(
+        **FAST, num_bad_links=2, drop_rate_range=(1e-2, 1e-2), epochs=2, seed=11
+    )
+
+
+def _dynamic_flap_config() -> ScenarioConfig:
+    script = (
+        ScenarioScript()
+        .flap(start=1, duration=2, drop_rate=2e-2, level=LinkLevel.LEVEL1)
+        .burst(start=4, duration=1, level=LinkLevel.LEVEL2, num_links=2, drop_rate=2e-2)
+    )
+    return ScenarioConfig(
+        **FAST, failure_kind="none", epochs=6, seed=13, script=script
+    )
+
+
+SCENARIOS: Dict[str, Callable[[], ScenarioConfig]] = {
+    "static_two_failures": _static_config,
+    "dynamic_flap_burst": _dynamic_flap_config,
+}
+
+
+def snapshot(result: ScenarioResult) -> dict:
+    """The regression-relevant content of a scenario result, JSON-ready."""
+    epochs = []
+    for i, report in enumerate(result.reports):
+        cause_counts: Dict[str, int] = {}
+        for _, link in sorted(report.flow_causes.items()):
+            key = str(link)
+            cause_counts[key] = cause_counts.get(key, 0) + 1
+        truth = result.truth_for_epoch(i)
+        epochs.append(
+            {
+                "epoch": report.epoch,
+                "truth": [str(link) for link in truth.bad_links],
+                "detected": [str(link) for link in report.detected_links],
+                "top_tally": [
+                    [str(link), votes] for link, votes in report.top_links(3)
+                ],
+                "flow_cause_counts": cause_counts,
+                "num_paths_analyzed": report.num_paths_analyzed,
+                "num_noise_flows": report.noise.num_noise,
+            }
+        )
+    return {"epochs": epochs}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_report(name: str) -> None:
+    result = run_scenario(SCENARIOS[name]())
+    got = snapshot(result)
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n")
+        pytest.fail(
+            f"golden file {path} was missing and has been written; "
+            "review and re-run"
+        )
+    expected = json.loads(path.read_text())
+    assert got == expected, (
+        f"scenario {name!r} drifted from its golden report {path}; if the "
+        "change is intentional, delete the file and re-run to regenerate"
+    )
+
+
+def test_both_engines_match_the_same_golden() -> None:
+    """The dict engine must reproduce the (array-engine) golden snapshot too."""
+    import dataclasses
+
+    config = SCENARIOS["dynamic_flap_burst"]()
+    config = dataclasses.replace(config, engine="dicts")
+    path = GOLDEN_DIR / "dynamic_flap_burst.json"
+    if not path.exists():
+        pytest.skip("golden file not generated yet")
+    expected = json.loads(path.read_text())
+    assert snapshot(run_scenario(config)) == expected

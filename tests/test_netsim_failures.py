@@ -156,3 +156,165 @@ class TestVmRebootModel:
     def test_invalid_threshold_raises(self):
         with pytest.raises(ValueError):
             VmRebootModel(retransmission_threshold=0)
+
+
+class TestTransientScheduleVmRebootInterplay:
+    """A flap on a storage path must cause reboots only while it is active.
+
+    Drives the real :class:`~repro.netsim.simulator.EpochSimulator` with a
+    replayed storage flow whose host uplink flaps during epochs [1, 3): the
+    VM reboots exactly in those epochs and never outside the window.
+    """
+
+    def test_flap_on_storage_path_reboots_only_during_active_epochs(
+        self, small_topology
+    ):
+        from repro.netsim.simulator import EpochSimulator
+        from repro.netsim.traffic import ReplayTraffic, TrafficDemand
+        from repro.routing.ecmp import EcmpRouter
+        from repro.testing import pair_of_hosts
+
+        link_table = LinkStateTable(small_topology, rng=0)
+        router = EcmpRouter(small_topology, rng=0)
+        src, dst = pair_of_hosts(small_topology)
+        demand = TrafficDemand(
+            src_host=src, dst_host=dst, num_packets=30, kind="storage"
+        )
+        traffic = ReplayTraffic(small_topology, [[demand]])
+        simulator = EpochSimulator(
+            topology=small_topology,
+            router=router,
+            link_table=link_table,
+            traffic=traffic,
+            rng=1,
+        )
+
+        schedule = TransientFailureSchedule(link_table)
+        uplink = DirectedLink(src, small_topology.host(src).tor)
+        schedule.add(
+            TransientFailure(
+                link=uplink, drop_rate=1.0, start_epoch=1, duration_epochs=2
+            )
+        )
+        model = VmRebootModel(retransmission_threshold=3)
+
+        reboot_epochs = set()
+        for epoch in range(5):
+            schedule.apply_epoch(epoch)
+            result = simulator.run_epoch(epoch)
+            for reboot in model.reboots_for_epoch(result.flows):
+                assert reboot.host == src
+                assert reboot.storage_host == dst
+                reboot_epochs.add(reboot.epoch)
+        assert reboot_epochs == {1, 2}
+
+
+class TestTransientBaselineRestoration:
+    """Transients must compose with static failures instead of erasing them."""
+
+    def test_clearing_a_flap_restores_a_static_failure_on_the_same_link(
+        self, small_topology, link_table
+    ):
+        link = DirectedLink("pod0-tor0", "pod0-t1-0")
+        link_table.inject_failure(link, 0.02)
+        schedule = TransientFailureSchedule(link_table)
+        schedule.add(
+            TransientFailure(link=link, drop_rate=0.3, start_epoch=0, duration_epochs=1)
+        )
+        schedule.apply_epoch(0)
+        assert link_table.drop_probability(link) == 0.3
+        schedule.apply_epoch(1)
+        assert link_table.is_failed(link)
+        assert link_table.drop_probability(link) == 0.02
+
+    def test_clearing_a_flap_restores_a_static_failure_on_the_reverse(
+        self, small_topology, link_table
+    ):
+        forward = DirectedLink("pod0-tor0", "pod0-t1-0")
+        reverse = forward.reversed()
+        link_table.inject_failure(reverse, 0.05)
+        schedule = TransientFailureSchedule(link_table)
+        schedule.add(
+            TransientFailure(
+                link=forward, drop_rate=0.3, start_epoch=0, duration_epochs=1
+            )
+        )
+        schedule.apply_epoch(0)
+        schedule.apply_epoch(1)
+        # clear_failure resets both directions; the schedule must put the
+        # reverse's static failure back
+        assert link_table.is_failed(reverse)
+        assert link_table.drop_probability(reverse) == 0.05
+        assert not link_table.is_failed(forward)
+
+    def test_expiring_drain_restores_static_failure_both_directions_quiet(
+        self, small_topology, link_table
+    ):
+        physical = small_topology.links_of_level(LinkLevel.LEVEL1)[0]
+        forward, reverse = physical.directions()
+        link_table.inject_failure(forward, 0.01)
+        schedule = TransientFailureSchedule(link_table)
+        for direction in physical.directions():
+            schedule.add(
+                TransientFailure(
+                    link=direction,
+                    drop_rate=1.0,
+                    start_epoch=0,
+                    duration_epochs=2,
+                    blackhole=True,
+                )
+            )
+        schedule.apply_epoch(0)
+        assert link_table.is_down(physical)
+        schedule.apply_epoch(2)
+        assert not link_table.is_down(physical)
+        assert link_table.drop_probability(forward) == 0.01
+        assert not link_table.is_failed(reverse)
+
+    def test_overlapping_transients_report_the_applied_rate(
+        self, small_topology, link_table
+    ):
+        physical = small_topology.links_of_level(LinkLevel.LEVEL1)[0]
+        forward, reverse = physical.directions()
+        schedule = TransientFailureSchedule(link_table)
+        # a drain (both directions, blackhole) overlapping a milder flap on
+        # the forward direction: the blackhole must win and be reported
+        for direction in physical.directions():
+            schedule.add(
+                TransientFailure(
+                    link=direction,
+                    drop_rate=1.0,
+                    start_epoch=0,
+                    duration_epochs=3,
+                    blackhole=True,
+                )
+            )
+        schedule.add(
+            TransientFailure(
+                link=forward, drop_rate=0.05, start_epoch=1, duration_epochs=1
+            )
+        )
+        truth = schedule.apply_epoch(1)
+        assert truth.drop_rates[forward] == 1.0
+        assert link_table.drop_probability(forward) == 1.0
+        assert link_table.is_down(physical)
+        # after everything expires, the link returns to noise
+        schedule.apply_epoch(3)
+        assert not link_table.is_down(physical)
+        assert not link_table.is_failed(forward)
+
+    def test_two_flaps_same_link_most_severe_wins(self, small_topology, link_table):
+        link = DirectedLink("pod0-tor0", "pod0-t1-0")
+        schedule = TransientFailureSchedule(link_table)
+        schedule.add(
+            TransientFailure(link=link, drop_rate=0.2, start_epoch=0, duration_epochs=2)
+        )
+        schedule.add(
+            TransientFailure(link=link, drop_rate=0.1, start_epoch=1, duration_epochs=2)
+        )
+        truth = schedule.apply_epoch(1)
+        assert truth.drop_rates[link] == 0.2
+        assert link_table.drop_probability(link) == 0.2
+        truth = schedule.apply_epoch(2)  # only the milder flap remains
+        assert truth.drop_rates[link] == 0.1
+        assert link_table.drop_probability(link) == 0.1

@@ -1,0 +1,259 @@
+"""Tests for the declarative time-varying scenario scripts."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.netsim.failures import TransientFailure, TransientFailureSchedule
+from repro.netsim.links import LinkStateTable
+from repro.netsim.script import (
+    CongestionBurst,
+    LinkFlap,
+    ScenarioScript,
+    TrafficShift,
+    random_burst_script,
+    random_flap_script,
+)
+from repro.netsim.traffic import HotTorTraffic, SkewedTraffic, UniformTraffic
+from repro.routing.ecmp import EcmpRouter
+from repro.topology.elements import DirectedLink, LinkLevel, SwitchTier
+
+
+class TestScriptBuilder:
+    def test_chaining_and_len(self):
+        script = (
+            ScenarioScript()
+            .flap(start=1, duration=2)
+            .burst(start=4, duration=1)
+            .reboot_switch(epoch=6)
+            .drain(start=8, duration=2)
+            .shift_traffic(epoch=3, traffic="skewed")
+        )
+        assert len(script) == 5
+
+    def test_horizon_is_first_epoch_after_all_events(self):
+        script = ScenarioScript().flap(start=1, duration=2).burst(start=4, duration=3)
+        assert script.horizon == 7
+
+    def test_empty_script_horizon(self):
+        assert ScenarioScript().horizon == 0
+
+    def test_scripts_are_picklable(self):
+        # the sweep runner ships configs (including scripts) to worker processes
+        script = random_flap_script(3, epochs=10, rng=0).shift_traffic(5, "hot_tor")
+        clone = pickle.loads(pickle.dumps(script))
+        assert clone.events == script.events
+
+
+class TestCompile:
+    def test_explicit_link_is_respected(self, small_topology, link_table):
+        link = DirectedLink("pod0-tor0", "pod0-t1-0")
+        script = ScenarioScript().flap(start=0, duration=1, link=link)
+        compiled = script.compile(small_topology, link_table, rng=0)
+        assert [f.link for f in compiled.schedule.failures] == [link]
+
+    def test_random_flap_victim_matches_level(self, small_topology, link_table):
+        script = ScenarioScript().flap(start=0, duration=1, level=LinkLevel.LEVEL2)
+        compiled = script.compile(small_topology, link_table, rng=3)
+        (failure,) = compiled.schedule.failures
+        assert small_topology.link_level(failure.link) == LinkLevel.LEVEL2
+
+    def test_compile_is_deterministic_in_the_seed(self, small_topology):
+        script = ScenarioScript().flap(start=0, duration=1, level=LinkLevel.LEVEL1)
+        tables = [LinkStateTable(small_topology, rng=0) for _ in range(2)]
+        compiled = [script.compile(small_topology, table, rng=42) for table in tables]
+        assert (
+            compiled[0].schedule.failures[0].link
+            == compiled[1].schedule.failures[0].link
+        )
+
+    def test_burst_resolves_distinct_links_of_level(self, small_topology, link_table):
+        script = ScenarioScript().burst(
+            start=0, duration=1, level=LinkLevel.LEVEL1, num_links=4
+        )
+        compiled = script.compile(small_topology, link_table, rng=1)
+        links = [f.link for f in compiled.schedule.failures]
+        assert len(links) == 4
+        assert len(set(links)) == 4
+        assert all(
+            small_topology.link_level(link) == LinkLevel.LEVEL1 for link in links
+        )
+
+    def test_burst_too_many_links_raises(self, small_topology, link_table):
+        script = ScenarioScript().burst(
+            start=0, duration=1, level=LinkLevel.LEVEL2, num_links=10_000
+        )
+        with pytest.raises(ValueError):
+            script.compile(small_topology, link_table, rng=0)
+
+    def test_drain_blackholes_both_directions(self, small_topology, link_table):
+        physical = small_topology.links_of_level(LinkLevel.LEVEL1)[0]
+        script = ScenarioScript().drain(start=1, duration=2, link=physical)
+        compiled = script.compile(small_topology, link_table, rng=0)
+
+        compiled.apply_epoch(0)
+        assert not link_table.is_down(physical)
+        compiled.apply_epoch(1)
+        assert link_table.is_down(physical)
+        for direction in physical.directions():
+            assert link_table.drop_probability(direction) == 1.0
+        compiled.apply_epoch(3)
+        assert not link_table.is_down(physical)
+        for direction in physical.directions():
+            assert link_table.drop_probability(direction) < 1.0
+
+    def test_reboot_blackholes_adjacent_links_then_reseeds(self, small_topology):
+        link_table = LinkStateTable(small_topology, rng=0)
+        router = EcmpRouter(small_topology, rng=0)
+        switch = small_topology.switches_of_tier(SwitchTier.T1)[0].name
+        script = ScenarioScript().reboot_switch(epoch=1, switch=switch, outage_epochs=2)
+        # compile with a seed distinct from the router's: with the same seed
+        # the reseed would redraw the very first sample the router's seeds
+        # came from (the pipeline forks distinct streams for exactly this
+        # reason).
+        compiled = script.compile(small_topology, link_table, router=router, rng=99)
+
+        seed_before = router.seed_of(switch)
+        adjacent = small_topology.links_of_node(switch)
+
+        truth = compiled.apply_epoch(1)
+        assert router.seed_of(switch) == seed_before  # still down, not yet reseeded
+        expected = {d for link in adjacent for d in link.directions()}
+        assert set(truth.bad_links) == expected
+        assert all(rate == 1.0 for rate in truth.drop_rates.values())
+
+        truth = compiled.apply_epoch(3)  # back up, reseeded
+        assert truth.bad_links == []
+        assert router.seed_of(switch) != seed_before
+        assert all(not link_table.is_down(link) for link in adjacent)
+
+    def test_random_switch_matches_tier(self, small_topology, link_table):
+        script = ScenarioScript().reboot_switch(epoch=0, tier=SwitchTier.T2)
+        compiled = script.compile(small_topology, link_table, rng=5)
+        truth = compiled.apply_epoch(0)
+        names = {link.src for link in truth.bad_links} & {
+            s.name for s in small_topology.switches_of_tier(SwitchTier.T2)
+        }
+        assert len(names) == 1
+
+    def test_horizon_covers_reseed_epoch(self, small_topology, link_table):
+        script = ScenarioScript().reboot_switch(epoch=2, outage_epochs=2)
+        compiled = script.compile(small_topology, link_table, rng=0)
+        # outage spans [2, 4), the reseed fires during epoch 4 -> horizon 5
+        assert compiled.horizon == 5
+        assert script.horizon == 5
+
+    def test_reseed_catches_up_over_epoch_gaps(self, small_topology):
+        link_table = LinkStateTable(small_topology, rng=0)
+        router = EcmpRouter(small_topology, rng=0)
+        switch = small_topology.switches_of_tier(SwitchTier.T1)[0].name
+        script = ScenarioScript().reboot_switch(epoch=1, switch=switch, outage_epochs=1)
+        compiled = script.compile(small_topology, link_table, router=router, rng=99)
+        seed_before = router.seed_of(switch)
+        compiled.apply_epoch(1)
+        compiled.apply_epoch(5)  # epoch 2 (the due reseed) was never applied
+        assert router.seed_of(switch) != seed_before
+        seed_after = router.seed_of(switch)
+        compiled.apply_epoch(6)  # the reseed fires exactly once
+        assert router.seed_of(switch) == seed_after
+
+
+class TestTrafficShift:
+    def test_shift_builds_generator_of_kind(self, small_topology, link_table):
+        script = ScenarioScript().shift_traffic(
+            epoch=2, traffic="skewed", num_hot_tors=2, hot_fraction=0.9
+        )
+        compiled = script.compile(small_topology, link_table, rng=0)
+        assert compiled.traffic_for_epoch(0) is None
+        shifted = compiled.traffic_for_epoch(2)
+        assert isinstance(shifted, SkewedTraffic)
+
+    def test_unset_parameters_inherit_from_current_generator(
+        self, small_topology, link_table
+    ):
+        current = UniformTraffic(
+            small_topology, connections_per_host=17, packets_per_flow=(10, 20)
+        )
+        script = ScenarioScript().shift_traffic(epoch=1, traffic="hot_tor")
+        compiled = script.compile(small_topology, link_table, rng=0)
+        shifted = compiled.traffic_for_epoch(1, current=current)
+        assert isinstance(shifted, HotTorTraffic)
+        assert shifted.connections_per_host == 17
+        assert shifted.packets_per_flow == (10, 20)
+
+    def test_unknown_kind_raises(self, small_topology, link_table):
+        script = ScenarioScript().add(TrafficShift(epoch=0, traffic="mystery"))
+        compiled = script.compile(small_topology, link_table, rng=0)
+        with pytest.raises(ValueError):
+            compiled.traffic_for_epoch(0)
+
+    def test_shift_applies_when_epochs_start_late(self, small_topology, link_table):
+        script = ScenarioScript().shift_traffic(epoch=0, traffic="skewed")
+        compiled = script.compile(small_topology, link_table, rng=0)
+        shifted = compiled.traffic_for_epoch(3)  # first epoch driven is 3
+        assert isinstance(shifted, SkewedTraffic)
+        assert compiled.traffic_for_epoch(4) is None  # fires only once
+
+
+class TestRandomScheduleGenerators:
+    def test_random_flap_script_event_count_and_bounds(self):
+        script = random_flap_script(
+            5, epochs=12, rng=7, drop_rate_range=(1e-3, 1e-2), duration_range=(1, 3)
+        )
+        assert len(script) == 5
+        for event in script.events:
+            assert isinstance(event, LinkFlap)
+            assert event.link is None  # victims resolved at compile time
+            assert 0 <= event.start_epoch
+            assert event.end_epoch <= 12
+            assert 1 <= event.duration_epochs <= 3
+            assert 1e-3 <= event.drop_rate <= 1e-2
+
+    def test_random_flap_script_is_seed_deterministic(self):
+        assert (
+            random_flap_script(4, epochs=10, rng=11).events
+            == random_flap_script(4, epochs=10, rng=11).events
+        )
+
+    def test_random_burst_script_bounds(self):
+        script = random_burst_script(3, epochs=6, rng=2, links_per_burst=(2, 3))
+        assert len(script) == 3
+        for event in script.events:
+            assert isinstance(event, CongestionBurst)
+            assert 2 <= event.num_links <= 3
+            assert event.end_epoch <= 6
+
+    def test_epochs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            random_flap_script(1, epochs=0)
+
+
+class TestTransientScheduleExtensions:
+    def test_active_at_and_horizon(self, small_topology, link_table):
+        schedule = TransientFailureSchedule(link_table)
+        link = DirectedLink("pod0-tor0", "pod0-t1-0")
+        flap = TransientFailure(link=link, drop_rate=0.1, start_epoch=2, duration_epochs=3)
+        schedule.add(flap)
+        assert schedule.horizon == 5
+        assert schedule.active_at(1) == []
+        assert schedule.active_at(2) == [flap]
+        assert schedule.active_at(4) == [flap]
+        assert schedule.active_at(5) == []
+
+    def test_blackhole_failure_takes_link_down_and_restores(
+        self, small_topology, link_table
+    ):
+        schedule = TransientFailureSchedule(link_table)
+        link = DirectedLink("pod0-tor0", "pod0-t1-0")
+        schedule.add(
+            TransientFailure(
+                link=link, drop_rate=1.0, start_epoch=0, duration_epochs=1, blackhole=True
+            )
+        )
+        schedule.apply_epoch(0)
+        assert link_table.is_down(link)
+        schedule.apply_epoch(1)
+        assert not link_table.is_down(link)
+        assert link_table.drop_probability(link) < 1.0
