@@ -1,0 +1,93 @@
+"""Checkpointing of streaming-service analysis state.
+
+A :class:`Checkpoint` is a frozen, JSON-serializable snapshot of everything a
+:class:`~repro.api.service.Zero07Service` (or
+:class:`~repro.api.sharded.ShardedService`) needs to resume *bit-identically*:
+the analysis configuration, the epoch bookkeeping, and every open epoch's
+evidence records in sequence order.  Finalized epochs' reports are not
+checkpointed — they were already delivered to the report sinks; a restored
+service picks up exactly where ingestion stopped.
+
+The payload is plain dicts/lists/strings/numbers (see
+:mod:`repro.api.events` for the path/link codecs), so checkpoints survive
+``json`` round-trips exactly and can be diffed, stored, or shipped between
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.blame import BlameConfig
+
+#: payload schema version; bump on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+
+def blame_to_dict(config: BlameConfig) -> Dict[str, Any]:
+    """Serialize a :class:`BlameConfig` to JSON-ready primitives."""
+    return {
+        "threshold_fraction": config.threshold_fraction,
+        "adjustment": config.adjustment,
+        "min_flow_support": config.min_flow_support,
+        "max_links": config.max_links,
+    }
+
+
+def blame_from_dict(data: Dict[str, Any]) -> BlameConfig:
+    """Rebuild a :class:`BlameConfig` from :func:`blame_to_dict` output."""
+    return BlameConfig(
+        threshold_fraction=float(data["threshold_fraction"]),
+        adjustment=data["adjustment"],
+        min_flow_support=int(data["min_flow_support"]),
+        max_links=int(data["max_links"]),
+    )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A frozen snapshot of a service's resumable analysis state."""
+
+    payload: Dict[str, Any]
+
+    @property
+    def kind(self) -> str:
+        """``"service"`` or ``"sharded"``."""
+        return self.payload.get("kind", "service")
+
+    @property
+    def version(self) -> int:
+        """The payload schema version the checkpoint was written with."""
+        return int(self.payload.get("version", 0))
+
+    def validate(self) -> "Checkpoint":
+        """Raise ``ValueError`` when the payload cannot be restored."""
+        if self.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {self.version} != supported {CHECKPOINT_VERSION}"
+            )
+        if self.kind not in ("service", "sharded"):
+            raise ValueError(f"unknown checkpoint kind {self.kind!r}")
+        return self
+
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int | None = None) -> str:
+        """The checkpoint as a JSON document (round-trips exactly)."""
+        return json.dumps(self.payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        """Parse a checkpoint from :meth:`to_json` output."""
+        return cls(payload=json.loads(text)).validate()
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the checkpoint to ``path`` as indented JSON."""
+        Path(path).write_text(self.to_json(indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Checkpoint":
+        """Read a checkpoint previously written with :meth:`save`."""
+        return cls.from_json(Path(path).read_text())

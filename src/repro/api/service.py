@@ -1,0 +1,587 @@
+"""The event-driven 007 analysis service.
+
+:class:`Zero07Service` is the always-on core the rest of the system is built
+around: evidence events (:mod:`repro.api.events`) are *ingested* one at a
+time or in batches, an **incremental vote tally** is maintained per open epoch
+with O(changed-flows) work (each path costs one ``add_flow``, each repeat
+retransmission an O(1) bump — on both the dict and the array engine), and an
+:class:`~repro.core.analysis.EpochReport` can be *materialized on demand* at
+any moment — including mid-epoch, before the epoch's tick arrives.  Reports
+are bit-identical to the legacy batch loop: the service replays evidence in
+sequence order, which is exactly the order the batch analysis consumed the
+discovered paths in.
+
+Three protocols define the system boundary:
+
+* :class:`EvidenceSource` — anything that yields evidence events
+  (the monitoring bridge, a replay log, a network receiver).
+* ``Zero07Service`` — ``ingest`` / ``ingest_batch`` / ``report`` /
+  ``checkpoint``.
+* :class:`ReportSink` — observers notified with every finalized epoch report
+  (aggregators, detection scorers, loggers, alerting).
+
+Epoch lifecycle: evidence opens an epoch implicitly; an
+:class:`~repro.api.events.EpochTick` finalizes every open epoch up to and
+including the ticked one — the final report is materialized once, pushed to
+every sink, cached (bounded by ``retain_reports``) and the epoch's evidence
+buffers are released, so a long-running service holds O(open epochs) state,
+not O(history).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.api.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    blame_from_dict,
+    blame_to_dict,
+)
+from repro.api.events import (
+    EpochTick,
+    Evidence,
+    PathEvidence,
+    RetransmissionEvidence,
+    copy_path,
+    path_from_dict,
+    path_to_dict,
+)
+from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
+from repro.core.arrays import ArrayVoteTally, LinkIndex
+from repro.core.blame import BlameConfig
+from repro.core.votes import VotePolicy, VoteTally
+from repro.discovery.agent import DiscoveredPath
+
+
+# ----------------------------------------------------------------------
+# protocols
+# ----------------------------------------------------------------------
+@runtime_checkable
+class EvidenceSource(Protocol):
+    """Anything that can yield a stream of evidence events."""
+
+    def events(self) -> Iterable[Evidence]:
+        """The evidence events, in emission order."""
+        ...
+
+
+@runtime_checkable
+class ReportSink(Protocol):
+    """Observer notified with every finalized epoch report."""
+
+    def on_report(self, report: EpochReport) -> None:
+        """Called exactly once per finalized epoch, in epoch order."""
+        ...
+
+
+class CallbackSink:
+    """A :class:`ReportSink` wrapping a plain callable."""
+
+    def __init__(self, callback: Callable[[EpochReport], None]) -> None:
+        self._callback = callback
+
+    def on_report(self, report: EpochReport) -> None:
+        """Forward the report to the wrapped callable."""
+        self._callback(report)
+
+
+class DetectionLogSink:
+    """Collects ``(epoch, detected_links)`` rows — a minimal alerting log."""
+
+    def __init__(self) -> None:
+        self.rows: List[Tuple[int, list]] = []
+
+    def on_report(self, report: EpochReport) -> None:
+        """Record the epoch's detections."""
+        self.rows.append((report.epoch, list(report.detected_links)))
+
+    @property
+    def epochs_with_detections(self) -> int:
+        """Number of finalized epochs that flagged at least one link."""
+        return sum(1 for _, links in self.rows if links)
+
+
+# ----------------------------------------------------------------------
+# service state
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceStats:
+    """Counters describing what the service ingested and produced."""
+
+    paths_ingested: int = 0
+    retransmission_updates: int = 0
+    ticks: int = 0
+    duplicate_events: int = 0
+    out_of_order_events: int = 0
+    late_events: int = 0
+    reports_materialized: int = 0
+    epochs_finalized: int = 0
+
+    def reset(self) -> None:
+        """Reset every counter to its field default."""
+        for spec in dataclasses.fields(self):
+            setattr(self, spec.name, spec.default)
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (checkpoint payload)."""
+        return dataclasses.asdict(self)
+
+
+class _EpochState:
+    """Evidence buffers and the live incremental tally of one open epoch."""
+
+    __slots__ = (
+        "records",
+        "by_flow",
+        "seqs",
+        "retransmission_seqs",
+        "tally",
+        "dirty",
+        "last_seq",
+        "pending_retransmissions",
+    )
+
+    def __init__(self, tally) -> None:
+        #: ``(seq, path)`` records; kept in seq order whenever ``not dirty``.
+        self.records: List[Tuple[int, DiscoveredPath]] = []
+        #: flow id -> the service's own path copy (for O(1) retrans bumps).
+        self.by_flow: Dict[int, DiscoveredPath] = {}
+        #: seen sequence numbers (duplicate-delivery suppression).
+        self.seqs: set = set()
+        #: the subset of ``seqs`` consumed by retransmission updates (their
+        #: effect lives in the paths' counts, so checkpoints persist the ids).
+        self.retransmission_seqs: set = set()
+        #: the live tally; valid whenever ``not dirty``.
+        self.tally = tally
+        #: set when out-of-order arrival invalidated the incremental tally.
+        self.dirty = False
+        self.last_seq = -1
+        #: retransmission updates that arrived before their flow's path.
+        self.pending_retransmissions: Dict[int, int] = {}
+
+
+class Zero07Service:
+    """The streaming 007 analysis service.
+
+    Parameters
+    ----------
+    blame_config, vote_policy, engine, attribute_noise_flows:
+        Analysis configuration, with the same semantics (and defaults) as
+        :class:`~repro.core.analysis.AnalysisAgent`.
+    sinks:
+        :class:`ReportSink` observers notified with every finalized report.
+    retain_reports:
+        How many finalized :class:`EpochReport`s to keep addressable through
+        :meth:`report`; older ones are evicted (their sinks already saw them).
+    link_index:
+        Optional pre-populated :class:`~repro.core.arrays.LinkIndex` shared
+        with other components (arrays engine only).
+    """
+
+    def __init__(
+        self,
+        blame_config: Optional[BlameConfig] = None,
+        vote_policy: VotePolicy = "inverse_hops",
+        engine: EngineKind = "arrays",
+        attribute_noise_flows: bool = False,
+        sinks: Sequence[ReportSink] = (),
+        retain_reports: int = 8,
+        link_index: Optional[LinkIndex] = None,
+    ) -> None:
+        if retain_reports < 1:
+            raise ValueError("retain_reports must be >= 1")
+        self._blame_config = blame_config or BlameConfig()
+        self._vote_policy: VotePolicy = vote_policy
+        self._attribute_noise_flows = attribute_noise_flows
+        self._retain_reports = retain_reports
+        self._link_index = link_index if link_index is not None else LinkIndex()
+        self._agent = AnalysisAgent(
+            blame_config=self._blame_config,
+            vote_policy=vote_policy,
+            attribute_noise_flows=attribute_noise_flows,
+            engine=engine,
+            link_index=self._link_index,
+        )
+        self._sinks: List[ReportSink] = list(sinks)
+        self._epochs: Dict[int, _EpochState] = {}
+        #: finalized reports, insertion-ordered, bounded by retain_reports.
+        self._final_reports: Dict[int, EpochReport] = {}
+        self._last_finalized: Optional[int] = None
+        self._max_epoch_seen: Optional[int] = None
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def agent(self) -> AnalysisAgent:
+        """The analysis agent reports are materialized with."""
+        return self._agent
+
+    @property
+    def engine(self) -> EngineKind:
+        """The analysis engine backing the incremental tallies."""
+        return self._agent.engine
+
+    @property
+    def blame_config(self) -> BlameConfig:
+        """The Algorithm 1 configuration."""
+        return self._blame_config
+
+    @property
+    def link_index(self) -> LinkIndex:
+        """The persistent link interner (arrays engine)."""
+        return self._link_index
+
+    @property
+    def current_epoch(self) -> Optional[int]:
+        """The most advanced epoch the service has seen evidence or ticks for."""
+        return self._max_epoch_seen
+
+    @property
+    def last_finalized_epoch(self) -> Optional[int]:
+        """The highest epoch whose report has been finalized (``None`` if none)."""
+        return self._last_finalized
+
+    @property
+    def open_epochs(self) -> List[int]:
+        """Epochs with buffered evidence that were not finalized yet."""
+        return sorted(self._epochs)
+
+    @property
+    def sinks(self) -> List[ReportSink]:
+        """The registered report sinks."""
+        return list(self._sinks)
+
+    def add_sink(self, sink: ReportSink) -> None:
+        """Register a sink for future finalized reports."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: ReportSink) -> None:
+        """Unregister a sink (no-op when it was never added)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def evidence_for_epoch(self, epoch: int) -> List[Tuple[int, DiscoveredPath]]:
+        """The open epoch's ``(seq, path)`` records in sequence order.
+
+        Returns an empty list for unknown/finalized epochs.  The paths are the
+        service's own live copies — treat them as read-only.
+        """
+        state = self._epochs.get(epoch)
+        if state is None:
+            return []
+        return sorted(state.records, key=lambda record: record[0])
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, event: Evidence) -> None:
+        """Ingest one evidence event (path, retransmission update, or tick)."""
+        if isinstance(event, PathEvidence):
+            self._ingest_path(event)
+        elif isinstance(event, RetransmissionEvidence):
+            self._ingest_retransmission(event)
+        elif isinstance(event, EpochTick):
+            self._ingest_tick(event)
+        else:
+            raise TypeError(f"not an evidence event: {event!r}")
+
+    def ingest_batch(self, events: Iterable[Evidence]) -> None:
+        """Ingest many evidence events in order."""
+        for event in events:
+            self.ingest(event)
+
+    def consume(self, source: EvidenceSource) -> None:
+        """Drain an :class:`EvidenceSource` into the service."""
+        self.ingest_batch(source.events())
+
+    def _seen_epoch(self, epoch: int) -> None:
+        if self._max_epoch_seen is None or epoch > self._max_epoch_seen:
+            self._max_epoch_seen = epoch
+
+    def _is_late(self, epoch: int) -> bool:
+        if self._last_finalized is not None and epoch <= self._last_finalized:
+            self.stats.late_events += 1
+            return True
+        return False
+
+    def _state(self, epoch: int) -> _EpochState:
+        state = self._epochs.get(epoch)
+        if state is None:
+            state = _EpochState(self._new_tally())
+            self._epochs[epoch] = state
+        return state
+
+    def _new_tally(self):
+        if self.engine == "arrays":
+            return ArrayVoteTally(policy=self._vote_policy, index=self._link_index)
+        return VoteTally(policy=self._vote_policy)
+
+    def _ingest_path(self, event: PathEvidence) -> None:
+        if self._is_late(event.epoch):
+            return
+        self._seen_epoch(event.epoch)
+        state = self._state(event.epoch)
+        if event.seq in state.seqs:
+            self.stats.duplicate_events += 1
+            return
+        state.seqs.add(event.seq)
+        path = copy_path(event.path)
+        pending = state.pending_retransmissions.pop(path.flow_id, 0)
+        if pending:
+            path.retransmissions += pending
+        state.records.append((event.seq, path))
+        state.by_flow[path.flow_id] = path
+        if not state.dirty and event.seq > state.last_seq:
+            state.tally.add_flow(path.flow_id, path.links, path.retransmissions)
+            state.last_seq = event.seq
+        else:
+            # count only genuine reorderings; later in-order arrivals on an
+            # already-dirty epoch still invalidate the tally but are not
+            # themselves out of order.
+            if event.seq < state.last_seq:
+                self.stats.out_of_order_events += 1
+            state.dirty = True
+            state.last_seq = max(state.last_seq, event.seq)
+        self.stats.paths_ingested += 1
+
+    def _ingest_retransmission(self, event: RetransmissionEvidence) -> None:
+        if self._is_late(event.epoch):
+            return
+        self._seen_epoch(event.epoch)
+        state = self._state(event.epoch)
+        if event.seq is not None:
+            if event.seq in state.seqs:
+                self.stats.duplicate_events += 1
+                return
+            state.seqs.add(event.seq)
+            state.retransmission_seqs.add(event.seq)
+        path = state.by_flow.get(event.flow_id)
+        if path is None:
+            # the flow's path evidence has not arrived (yet) — hold the count
+            state.pending_retransmissions[event.flow_id] = (
+                state.pending_retransmissions.get(event.flow_id, 0)
+                + event.retransmissions
+            )
+        else:
+            path.retransmissions += event.retransmissions
+            if not state.dirty:
+                state.tally.bump_retransmissions(event.flow_id, event.retransmissions)
+        self.stats.retransmission_updates += 1
+
+    def _ingest_tick(self, event: EpochTick) -> None:
+        if self._is_late(event.epoch):
+            return
+        self._seen_epoch(event.epoch)
+        self.stats.ticks += 1
+        # Finalize every epoch up to the tick — including evidence-less gap
+        # epochs, which still get their (empty) reports exactly like the
+        # batch loop emits one report per epoch.  The starting point is the
+        # service's earliest known progress marker; epochs before the first
+        # evidence/tick ever seen are outside the stream and stay unknown.
+        open_epochs = [e for e in self._epochs if e <= event.epoch]
+        if self._last_finalized is not None:
+            start = self._last_finalized + 1
+        elif open_epochs:
+            start = min(open_epochs)
+        else:
+            start = event.epoch
+        for epoch in range(start, event.epoch + 1):
+            self._finalize(epoch)
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def _rebuild_if_dirty(self, state: _EpochState) -> None:
+        if not state.dirty:
+            return
+        state.records.sort(key=lambda record: record[0])
+        tally = self._new_tally()
+        for seq, path in state.records:
+            tally.add_flow(path.flow_id, path.links, path.retransmissions)
+        state.tally = tally
+        state.dirty = False
+        state.last_seq = state.records[-1][0] if state.records else -1
+
+    def _materialize(self, epoch: int, state: Optional[_EpochState], final: bool) -> EpochReport:
+        if state is None:
+            tally = self._new_tally()
+            paths: List[DiscoveredPath] = []
+        else:
+            self._rebuild_if_dirty(state)
+            # Mid-epoch reports snapshot the tally so later ingests cannot
+            # mutate an already-returned report; the final report owns the
+            # live tally (no copy) since the epoch's state is dropped.
+            tally = state.tally if final else state.tally.copy()
+            paths = [path for _, path in state.records]
+        self.stats.reports_materialized += 1
+        return self._agent.analyze_tally(epoch, tally, paths)
+
+    def report(self, epoch: Optional[int] = None) -> EpochReport:
+        """Materialize the :class:`EpochReport` of ``epoch`` right now.
+
+        ``epoch=None`` reports on the most advanced epoch seen so far.  For a
+        finalized epoch the cached final report is returned; for an open (or
+        empty) epoch a fresh report is materialized from the evidence ingested
+        *so far* — the mid-epoch "which link is bad right now" query.  Raises
+        ``KeyError`` for finalized epochs evicted from the retention window.
+        """
+        if epoch is None:
+            epoch = self._max_epoch_seen if self._max_epoch_seen is not None else 0
+            if (
+                epoch not in self._final_reports
+                and self._last_finalized is not None
+                and epoch <= self._last_finalized
+            ):
+                # e.g. freshly restored from a checkpoint taken at an epoch
+                # boundary: the closed epoch's report was not serialized, so
+                # "right now" is the next (still-empty) open epoch.
+                epoch = self._last_finalized + 1
+        if epoch in self._final_reports:
+            return self._final_reports[epoch]
+        if self._last_finalized is not None and epoch <= self._last_finalized:
+            raise KeyError(
+                f"epoch {epoch} is closed (last finalized epoch "
+                f"{self._last_finalized}) and no retained report exists "
+                f"(retain_reports={self._retain_reports})"
+            )
+        return self._materialize(epoch, self._epochs.get(epoch), final=False)
+
+    def _finalize(self, epoch: int) -> EpochReport:
+        state = self._epochs.pop(epoch, None)
+        report = self._materialize(epoch, state, final=True)
+        self._final_reports[epoch] = report
+        while len(self._final_reports) > self._retain_reports:
+            oldest = next(iter(self._final_reports))
+            del self._final_reports[oldest]
+        if self._last_finalized is None or epoch > self._last_finalized:
+            self._last_finalized = epoch
+        self.stats.epochs_finalized += 1
+        for sink in self._sinks:
+            sink.on_report(report)
+        return report
+
+    def advance_epoch(self, epoch: int) -> EpochReport:
+        """Tick ``epoch`` closed and return its finalized report.
+
+        Equivalent to ``ingest(EpochTick(epoch))`` followed by
+        ``report(epoch)`` — the convenience used by the batch adapters.
+        """
+        self.ingest(EpochTick(epoch))
+        return self.report(epoch)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the resumable analysis state (see :class:`Checkpoint`)."""
+        epochs = []
+        for epoch in sorted(self._epochs):
+            state = self._epochs[epoch]
+            records = sorted(state.records, key=lambda record: record[0])
+            epochs.append(
+                {
+                    "epoch": epoch,
+                    "records": [[seq, path_to_dict(path)] for seq, path in records],
+                    "pending_retransmissions": {
+                        str(flow): count
+                        for flow, count in sorted(state.pending_retransmissions.items())
+                    },
+                    # consumed update seqs: their effect is already inside the
+                    # records' counts, but redeliveries after a restore must
+                    # still be recognized as duplicates.
+                    "retransmission_seqs": sorted(state.retransmission_seqs),
+                }
+            )
+        payload: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "service",
+            "engine": self.engine,
+            "vote_policy": self._vote_policy,
+            "attribute_noise_flows": self._attribute_noise_flows,
+            "blame": blame_to_dict(self._blame_config),
+            "retain_reports": self._retain_reports,
+            "max_epoch_seen": self._max_epoch_seen,
+            "last_finalized": self._last_finalized,
+            "stats": self.stats.as_dict(),
+            "epochs": epochs,
+        }
+        return Checkpoint(payload=payload)
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: Checkpoint,
+        sinks: Sequence[ReportSink] = (),
+        link_index: Optional[LinkIndex] = None,
+    ) -> "Zero07Service":
+        """Rebuild a service from a :class:`Checkpoint`.
+
+        The open epochs' evidence is replayed in sequence order, so every
+        subsequent :meth:`report` is bit-identical to what the checkpointed
+        service would have produced.  Sinks are not serialized — pass the ones
+        the resumed service should notify.
+        """
+        payload = checkpoint.validate().payload
+        if payload.get("kind") != "service":
+            raise ValueError(f"not a service checkpoint: kind={payload.get('kind')!r}")
+        service = cls(
+            blame_config=blame_from_dict(payload["blame"]),
+            vote_policy=payload["vote_policy"],
+            engine=payload["engine"],
+            attribute_noise_flows=bool(payload["attribute_noise_flows"]),
+            sinks=sinks,
+            retain_reports=int(payload["retain_reports"]),
+            link_index=link_index,
+        )
+        for epoch_data in payload["epochs"]:
+            epoch = int(epoch_data["epoch"])
+            for seq, path_data in epoch_data["records"]:
+                service.ingest(
+                    PathEvidence(
+                        epoch=epoch, seq=int(seq), path=path_from_dict(path_data)
+                    )
+                )
+            for flow, count in epoch_data["pending_retransmissions"].items():
+                service.ingest(
+                    RetransmissionEvidence(
+                        epoch=epoch, flow_id=int(flow), retransmissions=int(count)
+                    )
+                )
+            retrans_seqs = epoch_data.get("retransmission_seqs", [])
+            if retrans_seqs:
+                state = service._state(epoch)
+                state.retransmission_seqs.update(int(s) for s in retrans_seqs)
+                state.seqs.update(int(s) for s in retrans_seqs)
+        service._max_epoch_seen = (
+            int(payload["max_epoch_seen"])
+            if payload["max_epoch_seen"] is not None
+            else None
+        )
+        service._last_finalized = (
+            int(payload["last_finalized"])
+            if payload["last_finalized"] is not None
+            else None
+        )
+        stats = payload.get("stats", {})
+        for name, value in stats.items():
+            if hasattr(service.stats, name):
+                setattr(service.stats, name, int(value))
+        return service

@@ -1,0 +1,330 @@
+"""Host-sharded composition of :class:`~repro.api.service.Zero07Service`.
+
+The 007 analysis is voting — and votes merge.  :class:`ShardedService`
+partitions evidence across ``num_shards`` independent service instances by
+the reporting host (a stable CRC32 of ``src_host``, so any process computes
+the same placement), and materializes *fleet-wide* reports by merging the
+shards' evidence back in global sequence order.  Because every path event
+carries its per-epoch sequence number, the merged replay reconstructs exactly
+the stream an unsharded service would have ingested, so a sharded deployment
+agrees bit-for-bit with a single service — the property that makes scale-out
+safe.
+
+Per-shard reports remain available through :meth:`ShardedService.shard` for
+operators who want the partition-local view.
+
+Deliberate trade-off: merged reports *replay* the shards' evidence through a
+fresh batch analysis rather than summing the per-shard tallies.  Summing
+per-link float votes across shards would fold them in a different order than
+the unsharded service and drift by ULPs — replaying in global sequence order
+is what keeps the bit-for-bit agreement guarantee.  The per-shard incremental
+tallies are not wasted work either: they serve the partition-local
+``shard(i)`` reports, and in a real deployment each shard is a separate
+process whose ingestion (tracing, tallying) is the load being partitioned.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.checkpoint import CHECKPOINT_VERSION, Checkpoint
+from repro.api.events import (
+    EpochTick,
+    Evidence,
+    PathEvidence,
+    RetransmissionEvidence,
+)
+from repro.api.service import ReportSink, Zero07Service
+from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
+from repro.core.blame import BlameConfig
+from repro.core.votes import VotePolicy
+from repro.discovery.agent import DiscoveredPath
+
+
+def shard_of_host(host: str, num_shards: int) -> int:
+    """The stable shard index of ``host`` (CRC32, identical in any process)."""
+    return zlib.crc32(host.encode("utf-8")) % num_shards
+
+
+class ShardedService:
+    """``num_shards`` services behind one ingest/report facade.
+
+    Constructor parameters mirror :class:`Zero07Service`; sinks observe the
+    *merged* (fleet-wide) finalized reports.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        blame_config: Optional[BlameConfig] = None,
+        vote_policy: VotePolicy = "inverse_hops",
+        engine: EngineKind = "arrays",
+        attribute_noise_flows: bool = False,
+        sinks: Sequence[ReportSink] = (),
+        retain_reports: int = 8,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._num_shards = num_shards
+        self._retain_reports = retain_reports
+        self._shards = [
+            Zero07Service(
+                blame_config=blame_config,
+                vote_policy=vote_policy,
+                engine=engine,
+                attribute_noise_flows=attribute_noise_flows,
+                retain_reports=retain_reports,
+            )
+            for _ in range(num_shards)
+        ]
+        #: merge-side analysis agent with its own persistent link index.
+        self._agent = AnalysisAgent(
+            blame_config=blame_config,
+            vote_policy=vote_policy,
+            attribute_noise_flows=attribute_noise_flows,
+            engine=engine,
+        )
+        self._sinks: List[ReportSink] = list(sinks)
+        #: epoch -> flow id -> owning shard (routes retransmission updates).
+        self._flow_shard: Dict[int, Dict[int, int]] = {}
+        #: retransmission updates whose path evidence has not arrived yet.
+        self._pending: Dict[int, Dict[int, int]] = {}
+        #: epoch -> retransmission-update seqs already consumed at the facade
+        #: (duplicate suppression must happen before the pending buffer).
+        self._retrans_seqs: Dict[int, set] = {}
+        self._final_reports: Dict[int, EpochReport] = {}
+        self._last_finalized: Optional[int] = None
+        self._max_epoch_seen: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shard services behind the facade."""
+        return self._num_shards
+
+    def shard(self, index: int) -> Zero07Service:
+        """The shard service at ``index`` (partition-local reports/stats)."""
+        return self._shards[index]
+
+    @property
+    def current_epoch(self) -> Optional[int]:
+        """The most advanced epoch seen across the fleet."""
+        return self._max_epoch_seen
+
+    @property
+    def last_finalized_epoch(self) -> Optional[int]:
+        """The highest epoch whose merged report was finalized."""
+        return self._last_finalized
+
+    def add_sink(self, sink: ReportSink) -> None:
+        """Register a sink for future merged finalized reports."""
+        self._sinks.append(sink)
+
+    def _seen_epoch(self, epoch: int) -> None:
+        if self._max_epoch_seen is None or epoch > self._max_epoch_seen:
+            self._max_epoch_seen = epoch
+
+    def _is_late(self, epoch: int) -> bool:
+        return self._last_finalized is not None and epoch <= self._last_finalized
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, event: Evidence) -> None:
+        """Route one evidence event to its shard (ticks finalize the fleet)."""
+        if isinstance(event, PathEvidence):
+            if self._is_late(event.epoch):
+                return
+            self._seen_epoch(event.epoch)
+            shard = shard_of_host(event.path.src_host, self._num_shards)
+            self._flow_shard.setdefault(event.epoch, {})[event.path.flow_id] = shard
+            self._shards[shard].ingest(event)
+            pending = self._pending.get(event.epoch, {}).pop(event.path.flow_id, 0)
+            if pending:
+                self._shards[shard].ingest(
+                    RetransmissionEvidence(
+                        epoch=event.epoch,
+                        flow_id=event.path.flow_id,
+                        retransmissions=pending,
+                    )
+                )
+        elif isinstance(event, RetransmissionEvidence):
+            if self._is_late(event.epoch):
+                return
+            self._seen_epoch(event.epoch)
+            if event.seq is not None:
+                seen = self._retrans_seqs.setdefault(event.epoch, set())
+                if event.seq in seen:
+                    return
+                seen.add(event.seq)
+            shard = self._flow_shard.get(event.epoch, {}).get(event.flow_id)
+            if shard is None:
+                epoch_pending = self._pending.setdefault(event.epoch, {})
+                epoch_pending[event.flow_id] = (
+                    epoch_pending.get(event.flow_id, 0) + event.retransmissions
+                )
+            else:
+                self._shards[shard].ingest(event)
+        elif isinstance(event, EpochTick):
+            if self._is_late(event.epoch):
+                return
+            self._seen_epoch(event.epoch)
+            self._finalize_through(event.epoch)
+            for shard in self._shards:
+                shard.ingest(event)
+        else:
+            raise TypeError(f"not an evidence event: {event!r}")
+
+    def ingest_batch(self, events) -> None:
+        """Ingest many evidence events in order."""
+        for event in events:
+            self.ingest(event)
+
+    # ------------------------------------------------------------------
+    # merged materialization
+    # ------------------------------------------------------------------
+    def _merged_paths(self, epoch: int) -> List[DiscoveredPath]:
+        merged: List[Tuple[int, DiscoveredPath]] = []
+        for shard in self._shards:
+            merged.extend(shard.evidence_for_epoch(epoch))
+        merged.sort(key=lambda record: record[0])
+        return [path for _, path in merged]
+
+    def report(self, epoch: Optional[int] = None) -> EpochReport:
+        """The merged fleet-wide report of ``epoch`` (mid-epoch queries work).
+
+        Bit-identical to an unsharded :meth:`Zero07Service.report` over the
+        same evidence stream: the merge replays all shards' evidence in the
+        global sequence order the source emitted it in.
+        """
+        if epoch is None:
+            epoch = self._max_epoch_seen if self._max_epoch_seen is not None else 0
+            if (
+                epoch not in self._final_reports
+                and self._last_finalized is not None
+                and epoch <= self._last_finalized
+            ):
+                # mirror Zero07Service: after a boundary restore, "right now"
+                # is the next open epoch, not the unserialized closed one.
+                epoch = self._last_finalized + 1
+        if epoch in self._final_reports:
+            return self._final_reports[epoch]
+        if self._is_late(epoch):
+            raise KeyError(
+                f"epoch {epoch} is closed (last finalized epoch "
+                f"{self._last_finalized}) and no retained report exists "
+                f"(retain_reports={self._retain_reports})"
+            )
+        return self._agent.analyze_epoch(epoch, self._merged_paths(epoch))
+
+    def _open_epochs(self) -> List[int]:
+        epochs = set()
+        for shard in self._shards:
+            epochs.update(shard.open_epochs)
+        return sorted(epochs)
+
+    def _finalize_through(self, epoch: int) -> None:
+        # mirror Zero07Service: every epoch up to the tick finalizes, gap
+        # (evidence-less) epochs included, one merged report per epoch.
+        open_epochs = [e for e in self._open_epochs() if e <= epoch]
+        if self._last_finalized is not None:
+            start = self._last_finalized + 1
+        elif open_epochs:
+            start = min(open_epochs)
+        else:
+            start = epoch
+        for e in range(start, epoch + 1):
+            report = self._agent.analyze_epoch(e, self._merged_paths(e))
+            self._final_reports[e] = report
+            while len(self._final_reports) > self._retain_reports:
+                del self._final_reports[next(iter(self._final_reports))]
+            if self._last_finalized is None or e > self._last_finalized:
+                self._last_finalized = e
+            for sink in self._sinks:
+                sink.on_report(report)
+            self._flow_shard.pop(e, None)
+            self._pending.pop(e, None)
+            self._retrans_seqs.pop(e, None)
+
+    def advance_epoch(self, epoch: int) -> EpochReport:
+        """Tick ``epoch`` closed fleet-wide and return the merged report."""
+        self.ingest(EpochTick(epoch))
+        return self.report(epoch)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the whole fleet (every shard plus the routing state)."""
+        payload: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "sharded",
+            "num_shards": self._num_shards,
+            "retain_reports": self._retain_reports,
+            "max_epoch_seen": self._max_epoch_seen,
+            "last_finalized": self._last_finalized,
+            "flow_shard": {
+                str(epoch): {str(flow): shard for flow, shard in flows.items()}
+                for epoch, flows in self._flow_shard.items()
+            },
+            "pending": {
+                str(epoch): {str(flow): count for flow, count in flows.items()}
+                for epoch, flows in self._pending.items()
+            },
+            "retrans_seqs": {
+                str(epoch): sorted(seqs)
+                for epoch, seqs in self._retrans_seqs.items()
+            },
+            "shards": [shard.checkpoint().payload for shard in self._shards],
+        }
+        return Checkpoint(payload=payload)
+
+    @classmethod
+    def restore(
+        cls, checkpoint: Checkpoint, sinks: Sequence[ReportSink] = ()
+    ) -> "ShardedService":
+        """Rebuild a sharded fleet from a :class:`Checkpoint`."""
+        payload = checkpoint.validate().payload
+        if payload.get("kind") != "sharded":
+            raise ValueError(f"not a sharded checkpoint: kind={payload.get('kind')!r}")
+        shard_payloads = payload["shards"]
+        first = shard_payloads[0]
+        from repro.api.checkpoint import blame_from_dict
+
+        fleet = cls(
+            num_shards=int(payload["num_shards"]),
+            blame_config=blame_from_dict(first["blame"]),
+            vote_policy=first["vote_policy"],
+            engine=first["engine"],
+            attribute_noise_flows=bool(first["attribute_noise_flows"]),
+            sinks=sinks,
+            retain_reports=int(payload["retain_reports"]),
+        )
+        fleet._shards = [
+            Zero07Service.restore(Checkpoint(payload=shard_payload))
+            for shard_payload in shard_payloads
+        ]
+        fleet._flow_shard = {
+            int(epoch): {int(flow): int(shard) for flow, shard in flows.items()}
+            for epoch, flows in payload["flow_shard"].items()
+        }
+        fleet._pending = {
+            int(epoch): {int(flow): int(count) for flow, count in flows.items()}
+            for epoch, flows in payload["pending"].items()
+        }
+        fleet._retrans_seqs = {
+            int(epoch): {int(seq) for seq in seqs}
+            for epoch, seqs in payload.get("retrans_seqs", {}).items()
+        }
+        fleet._max_epoch_seen = (
+            int(payload["max_epoch_seen"])
+            if payload["max_epoch_seen"] is not None
+            else None
+        )
+        fleet._last_finalized = (
+            int(payload["last_finalized"])
+            if payload["last_finalized"] is not None
+            else None
+        )
+        return fleet

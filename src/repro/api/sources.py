@@ -1,0 +1,137 @@
+"""Evidence sources: bridges that feed a :class:`~repro.api.service.Zero07Service`.
+
+* :class:`MonitoringEvidenceStream` — binds a live
+  :class:`~repro.monitoring.agent.TcpMonitoringAgent` to a service: every
+  newly discovered path becomes a :class:`~repro.api.events.PathEvidence`
+  (with a per-epoch sequence number assigned in discovery order), every
+  repeat retransmission of an already-traced flow a
+  :class:`~repro.api.events.RetransmissionEvidence`.  This is what makes the
+  rewired :class:`~repro.core.pipeline.Zero07System` *streaming*: evidence
+  reaches the service while the epoch is still running, so mid-epoch
+  ``report()`` queries see everything discovered so far.
+* :class:`ReplayEvidenceSource` — a list-backed
+  :class:`~repro.api.service.EvidenceSource` (logs, tests, backfills).
+* :class:`EvidenceRecorder` — a transparent ingest tap that snapshots every
+  event flowing into a service, for capture/replay and shard-equivalence
+  testing.
+* :func:`path_evidence_stream` — turn a batch of discovered paths into the
+  equivalent evidence stream (the batch → streaming adapter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.api.events import (
+    EpochTick,
+    Evidence,
+    PathEvidence,
+    RetransmissionEvidence,
+    copy_evidence,
+)
+from repro.api.service import Zero07Service
+from repro.discovery.agent import DiscoveredPath
+from repro.monitoring.agent import TcpMonitoringAgent
+
+
+def path_evidence_stream(
+    epoch: int, paths: Sequence[DiscoveredPath], tick: bool = False
+) -> Iterator[Evidence]:
+    """The evidence stream equivalent to a batch of discovered paths.
+
+    Sequence numbers follow list order (the batch analysis order), so a
+    service ingesting this stream produces reports bit-identical to
+    ``AnalysisAgent.analyze_epoch(epoch, paths)``.  With ``tick=True`` the
+    stream ends with the epoch's :class:`EpochTick`.
+    """
+    for seq, path in enumerate(paths):
+        yield PathEvidence(epoch=epoch, seq=seq, path=path)
+    if tick:
+        yield EpochTick(epoch=epoch)
+
+
+class ReplayEvidenceSource:
+    """An :class:`~repro.api.service.EvidenceSource` over a recorded list."""
+
+    def __init__(self, events: Iterable[Evidence]) -> None:
+        self._events: List[Evidence] = list(events)
+
+    def events(self) -> Iterator[Evidence]:
+        """Yield the recorded events in order."""
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class EvidenceRecorder:
+    """Wraps a service's ``ingest`` to capture a snapshot of every event.
+
+    The recorder deep-copies path payloads at capture time (sources mutate
+    them in place on later retransmissions), so :meth:`replay` reproduces the
+    original stream faithfully on any other service — the capture/replay tool
+    behind the shard- and checkpoint-equivalence tests.
+    """
+
+    def __init__(self, service: Zero07Service) -> None:
+        self._service = service
+        self._inner = service.ingest
+        self.events: List[Evidence] = []
+        service.ingest = self.ingest  # type: ignore[method-assign]
+
+    def ingest(self, event: Evidence) -> None:
+        """Record a snapshot of ``event``, then forward it to the service."""
+        self.events.append(copy_evidence(event))
+        self._inner(event)
+
+    def detach(self) -> None:
+        """Restore the service's original ``ingest``."""
+        self._service.ingest = self._inner  # type: ignore[method-assign]
+
+    def source(self) -> ReplayEvidenceSource:
+        """The captured stream as a replayable source."""
+        return ReplayEvidenceSource(self.events)
+
+    def replay(self, service) -> None:
+        """Feed the captured stream into another service (or sharded fleet)."""
+        for event in self.events:
+            service.ingest(copy_evidence(event))
+
+
+class MonitoringEvidenceStream:
+    """Streams a monitoring agent's discoveries into a service as they happen.
+
+    Attaches to the agent's ``on_new_path`` / ``on_repeat_retransmissions``
+    hooks; sequence numbers are assigned per epoch in discovery order —
+    exactly the order the legacy batch loop consumed
+    ``paths_for_epoch(epoch)`` in, which is what keeps streamed reports
+    bit-identical to batch analysis.
+    """
+
+    def __init__(self, monitoring: TcpMonitoringAgent, service: Zero07Service) -> None:
+        self._service = service
+        self._seq_by_epoch: Dict[int, int] = {}
+        monitoring.on_new_path = self._on_new_path
+        monitoring.on_repeat_retransmissions = self._on_repeat_retransmissions
+
+    def _on_new_path(self, epoch: int, path: DiscoveredPath) -> None:
+        seq = self._seq_by_epoch.get(epoch, 0)
+        self._seq_by_epoch[epoch] = seq + 1
+        self._service.ingest(PathEvidence(epoch=epoch, seq=seq, path=path))
+
+    def _on_repeat_retransmissions(
+        self, epoch: int, flow_id: int, retransmissions: int
+    ) -> None:
+        # count updates draw from the same per-epoch sequence space as the
+        # paths, so redelivered updates are deduplicated too.
+        seq = self._seq_by_epoch.get(epoch, 0)
+        self._seq_by_epoch[epoch] = seq + 1
+        self._service.ingest(
+            RetransmissionEvidence(
+                epoch=epoch, flow_id=flow_id, retransmissions=retransmissions, seq=seq
+            )
+        )
+
+    def epoch_done(self, epoch: int) -> None:
+        """Release the epoch's sequence counter (after its tick)."""
+        self._seq_by_epoch.pop(epoch, None)

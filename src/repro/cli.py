@@ -4,6 +4,9 @@ Three subcommands cover the common workflows:
 
 * ``scenario`` — run the full pipeline on a synthetic Clos fabric with injected
   failures and print the epoch report plus accuracy/precision/recall.
+  Scenarios are shareable files: ``--dump-config out.json`` writes the
+  resolved :class:`~repro.experiments.scenario.ScenarioConfig` (including any
+  ``--timeline`` script) without running it, ``--config out.json`` runs one.
 * ``experiment`` — regenerate one of the paper's tables/figures by name
   (``fig03``, ``table1``, ``sec83`` ...) and print its rows.
 * ``theory`` — evaluate Theorems 1 and 2 for a given topology sizing.
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -136,6 +140,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="1",
         help="link level the scripted events strike (host-ToR, ToR-T1, T1-T2)",
     )
+    scenario.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help="run the scenario described by a JSON config file (written by "
+        "--dump-config); the other scenario flags are ignored",
+    )
+    scenario.add_argument(
+        "--dump-config",
+        metavar="PATH",
+        default=None,
+        help="write the resolved scenario config as JSON ('-' for stdout) "
+        "and exit without running",
+    )
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure")
     experiment.add_argument("name", choices=sorted(_experiment_registry()))
@@ -211,22 +229,42 @@ def _build_timeline(args: argparse.Namespace) -> Optional[ScenarioScript]:
 
 
 def _run_scenario_command(args: argparse.Namespace, out) -> int:
-    script = _build_timeline(args)
-    config = ScenarioConfig(
-        npod=args.pods,
-        n0=args.tors_per_pod,
-        n1=args.t1_per_pod,
-        n2=args.t2,
-        hosts_per_tor=args.hosts_per_tor,
-        num_bad_links=args.bad_links,
-        drop_rate_range=(args.drop_rate, args.drop_rate),
-        connections_per_host=args.connections_per_host,
-        epochs=args.epochs,
-        seed=args.seed,
-        engine=args.engine,
-        script=script,
-    )
-    result = run_scenario(config)
+    if args.config is not None:
+        with open(args.config) as handle:
+            config = ScenarioConfig.from_dict(json.load(handle))
+        script = config.script
+    else:
+        script = _build_timeline(args)
+        config = ScenarioConfig(
+            npod=args.pods,
+            n0=args.tors_per_pod,
+            n1=args.t1_per_pod,
+            n2=args.t2,
+            hosts_per_tor=args.hosts_per_tor,
+            num_bad_links=args.bad_links,
+            drop_rate_range=(args.drop_rate, args.drop_rate),
+            connections_per_host=args.connections_per_host,
+            epochs=args.epochs,
+            seed=args.seed,
+            engine=args.engine,
+            script=script,
+        )
+    if args.dump_config is not None:
+        text = json.dumps(config.to_dict(), indent=2, sort_keys=True)
+        if args.dump_config == "-":
+            print(text, file=out)
+        else:
+            with open(args.dump_config, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote scenario config to {args.dump_config}", file=out)
+        return 0
+
+    # the multi-epoch aggregator rides along as a report sink, folding in
+    # every finalized epoch as the analysis service produces it.
+    from repro.core.aggregate import MultiEpochAggregator
+
+    aggregator = MultiEpochAggregator()
+    result = run_scenario(config, sinks=(aggregator,))
     report = result.reports[-1]
     print(result.topology.describe(), file=out)
     print("injected failures:", file=out)
@@ -258,6 +296,12 @@ def _run_scenario_command(args: argparse.Namespace, out) -> int:
     print(
         f"detection: precision {score.precision:.2f}, recall {score.recall:.2f}; "
         f"per-flow accuracy {result.accuracy_007(len(result.reports) - 1):.2f}",
+        file=out,
+    )
+    mean_det, std_det = aggregator.detections_per_epoch()
+    print(
+        f"aggregate over {aggregator.epochs_ingested} epoch(s): "
+        f"{mean_det:.2f} ± {std_det:.2f} link(s) flagged per epoch",
         file=out,
     )
     return 0

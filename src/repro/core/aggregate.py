@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,14 +53,24 @@ class LinkHealthRecord:
 
 
 class MultiEpochAggregator:
-    """Accumulates epoch reports into link-health and fleet-wide summaries."""
+    """Accumulates epoch reports into link-health and fleet-wide summaries.
+
+    The aggregator is also a :class:`~repro.api.service.ReportSink`: attach
+    it to a streaming service (``Zero07Service(sinks=[aggregator])`` or
+    ``run_scenario(config, sinks=[aggregator])``) and every finalized epoch
+    report is folded in as it is produced.  Supply ``truth_lookup`` (epoch ->
+    :class:`FailureScenario`) to maintain the truth-aware columns in
+    streaming mode too.
+    """
 
     def __init__(
         self,
         topology: Optional[Topology] = None,
         link_index: Optional[LinkIndex] = None,
+        truth_lookup: Optional[Callable[[int], Optional[FailureScenario]]] = None,
     ) -> None:
         self._topology = topology
+        self._truth_lookup = truth_lookup
         self._index = link_index if link_index is not None else LinkIndex()
         self._detections_per_epoch: List[int] = []
         self._max_votes_per_epoch: List[float] = []
@@ -178,6 +188,15 @@ class MultiEpochAggregator:
                     self._true_detections[idx] += 1
                 else:
                     self._false_detections[idx] += 1
+
+    def on_report(self, report: EpochReport) -> None:
+        """:class:`ReportSink` hook: fold in one finalized epoch report.
+
+        Truth columns are maintained when a ``truth_lookup`` was supplied at
+        construction (it is consulted with the report's epoch).
+        """
+        truth = self._truth_lookup(report.epoch) if self._truth_lookup else None
+        self.ingest(report, truth=truth)
 
     def ingest_many(
         self,

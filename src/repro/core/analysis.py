@@ -100,13 +100,47 @@ class AnalysisAgent:
     def analyze_epoch(
         self, epoch: int, paths: Sequence[DiscoveredPath]
     ) -> EpochReport:
-        """Analyse one epoch's worth of discovered paths."""
+        """Analyse one epoch's worth of discovered paths (batch entry point)."""
         if self._engine == "arrays":
-            return self._analyze_epoch_arrays(epoch, paths)
+            from repro.core.arrays import ArrayVoteTally, LinkIndex
+
+            if self._link_index is None:
+                self._link_index = LinkIndex()
+            tally = ArrayVoteTally(policy=self._vote_policy, index=self._link_index)
+            tally.add_discovered_paths(paths)
+            return self._analyze_array_tally(epoch, tally)
 
         tally = VoteTally(policy=self._vote_policy)
         tally.add_discovered_paths(paths)
+        return self._analyze_dict_tally(epoch, tally, list(paths))
 
+    def analyze_tally(
+        self,
+        epoch: int,
+        tally,
+        paths: Optional[Sequence[DiscoveredPath]] = None,
+    ) -> EpochReport:
+        """Materialize a report from an *externally accumulated* tally.
+
+        This is the streaming entry point: the 007 service grows a tally
+        incrementally as evidence arrives and materializes reports on demand
+        (including mid-epoch) by handing the tally here.  Array-backed tallies
+        are dispatched to the vectorized path regardless of this agent's
+        ``engine`` setting; dict tallies need ``paths`` — the discovered paths
+        behind the tally, in contribution order (defaults to the tally's own
+        contribution records, which carry the same flow ids, links and
+        retransmission counts).
+        """
+        if hasattr(tally, "votes_array"):
+            return self._analyze_array_tally(epoch, tally)
+        if paths is None:
+            paths = tally.contributions
+        return self._analyze_dict_tally(epoch, tally, paths)
+
+    def _analyze_dict_tally(
+        self, epoch: int, tally: VoteTally, paths: Sequence
+    ) -> EpochReport:
+        """The reference (pure-Python) epoch analysis over a built tally."""
         blame = find_problematic_links(tally, self._blame_config)
         noise = classify_noise_flows(paths, blame.detected_links)
 
@@ -126,22 +160,13 @@ class AnalysisAgent:
             num_paths_analyzed=len(paths),
         )
 
-    def _analyze_epoch_arrays(
-        self, epoch: int, paths: Sequence[DiscoveredPath]
-    ) -> EpochReport:
-        """The vectorized epoch analysis (bit-identical to the dict path)."""
+    def _analyze_array_tally(self, epoch: int, tally) -> EpochReport:
+        """The vectorized epoch analysis over a built tally (bit-identical)."""
         from repro.core.arrays import (
-            ArrayVoteTally,
-            LinkIndex,
             attribute_flow_causes_arrays,
             classify_noise_flows_arrays,
             find_problematic_links_arrays,
         )
-
-        if self._link_index is None:
-            self._link_index = LinkIndex()
-        tally = ArrayVoteTally(policy=self._vote_policy, index=self._link_index)
-        tally.add_discovered_paths(paths)
 
         blame = find_problematic_links_arrays(tally, self._blame_config)
         noise = classify_noise_flows_arrays(tally, blame.detected_links)
@@ -167,7 +192,7 @@ class AnalysisAgent:
             blame=blame,
             flow_causes=flow_causes,
             noise=noise,
-            num_paths_analyzed=len(paths),
+            num_paths_analyzed=tally.num_flows,
         )
 
     def analyze_epochs(

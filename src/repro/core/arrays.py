@@ -144,6 +144,7 @@ class ArrayVoteTally:
         self._weights: List[float] = []
         self._flow_ids: List[int] = []
         self._retransmissions: List[int] = []
+        self._row_by_flow: Dict[int, int] = {}
         self._first_seen: List[int] = []  # voted link ids, first-vote order
         self._voted: set = set()
         self._invalidate()
@@ -176,6 +177,7 @@ class ArrayVoteTally:
                 self._first_seen.append(lid)
         self._indptr.append(len(self._cols))
         self._weights.append(weight)
+        self._row_by_flow[flow_id] = len(self._flow_ids)
         self._flow_ids.append(flow_id)
         self._retransmissions.append(retransmissions)
         self._invalidate()
@@ -198,6 +200,17 @@ class ArrayVoteTally:
         """Record votes for many discovered paths."""
         for path in paths:
             self.add_discovered_path(path)
+
+    def bump_retransmissions(self, flow_id: int, extra: int) -> None:
+        """Add ``extra`` retransmissions to ``flow_id``'s latest row.
+
+        O(1): votes/weights are untouched (the flow's path is unchanged), so
+        only the rebuilt-on-demand contribution view is invalidated, not the
+        CSR arrays.  Raises ``KeyError`` for unknown flows.
+        """
+        row = self._row_by_flow[flow_id]
+        self._retransmissions[row] += extra
+        self._contributions_cache = None
 
     # ------------------------------------------------------------------
     # array views
@@ -349,6 +362,7 @@ class ArrayVoteTally:
         clone._weights = list(self._weights)
         clone._flow_ids = list(self._flow_ids)
         clone._retransmissions = list(self._retransmissions)
+        clone._row_by_flow = dict(self._row_by_flow)
         clone._first_seen = list(self._first_seen)
         clone._voted = set(self._voted)
         return clone

@@ -3,17 +3,21 @@
 :class:`Zero07System` wires every component of Figure 2 together over the
 simulated datacenter: the flow-level simulator plays the role of the real
 network + ETW, the monitoring agent reacts to retransmissions, the path
-discovery agent traces the affected flows within the ICMP budget, and the
-centralised analysis agent compiles the per-epoch vote tallies, rankings and
-problematic-link reports.
+discovery agent traces the affected flows within the ICMP budget — and the
+evidence streams into an always-on :class:`~repro.api.service.Zero07Service`
+*while the epoch runs*, so "which link is bad right now" can be answered
+mid-epoch through ``system.service.report(...)``.  ``run_epoch``/``run`` are
+thin batch adapters over the service (bit-identical to the historical batch
+loop, enforced by the golden-report suite), and :meth:`Zero07System.iter_epochs`
+streams ``(EpochResult, EpochReport)`` pairs without accumulating them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
+from repro.core.analysis import EngineKind, EpochReport
 from repro.core.blame import BlameConfig
 from repro.core.votes import VotePolicy
 from repro.discovery.agent import PathDiscoveryAgent, PathDiscoveryConfig
@@ -72,6 +76,9 @@ class Zero07System:
         time-varying timeline (flaps, bursts, reboots, drains, traffic
         shifts).  The system applies it at the start of every epoch, so the
         failure set — and therefore the ground truth — changes over time.
+    sinks:
+        Optional :class:`~repro.api.service.ReportSink` observers notified
+        with every finalized epoch report (aggregators, scorers, alerting).
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class Zero07System:
         config: Optional[SystemConfig] = None,
         rng: RngLike = 0,
         script: Optional[ScenarioScript] = None,
+        sinks: Sequence = (),
     ) -> None:
         self._topology = topology
         # Copy the caller's config instead of aliasing it: the constructor
@@ -139,11 +147,22 @@ class Zero07System:
         self.monitoring = TcpMonitoringAgent(self.path_discovery)
         self.simulator.subscribe(self.monitoring.handle_event)
 
-        self.analysis = AnalysisAgent(
+        # The always-on analysis service: monitoring evidence streams into it
+        # while the epoch runs (via the hook bridge below), run_epoch merely
+        # ticks the epoch closed and picks up the finalized report.  Imported
+        # lazily — repro.api sits above repro.core in the layering.
+        from repro.api.service import Zero07Service
+        from repro.api.sources import MonitoringEvidenceStream
+
+        self.service = Zero07Service(
             blame_config=self._config.blame,
             vote_policy=self._config.vote_policy,
             engine=self._config.engine,
+            sinks=sinks,
         )
+        self._evidence_stream = MonitoringEvidenceStream(self.monitoring, self.service)
+        #: the agent reports are materialized with (kept for back-compat).
+        self.analysis = self.service.agent
         self._base_rng = base_rng
 
         # The compiled timeline (if any) and the per-epoch ground truth.  The
@@ -203,7 +222,18 @@ class Zero07System:
 
     # ------------------------------------------------------------------
     def run_epoch(self, epoch: int) -> Tuple[EpochResult, EpochReport]:
-        """Simulate one epoch and analyse it; returns (simulation, 007 report)."""
+        """Simulate one epoch and analyse it; returns (simulation, 007 report).
+
+        A thin adapter over the streaming service: the epoch's evidence
+        already flowed into :attr:`service` during simulation; this merely
+        ticks the epoch closed and returns the finalized report —
+        bit-identical to the historical batch loop.
+        """
+        # epoch rollover: per-epoch observability counters start fresh, so
+        # one long-lived system object reports per-epoch (not all-time) stats.
+        self.monitoring.stats.reset()
+        self.path_discovery.stats.reset()
+
         if self._script is not None:
             new_traffic = self._script.traffic_for_epoch(
                 epoch, current=self.simulator.traffic
@@ -214,11 +244,37 @@ class Zero07System:
         self._truth_by_epoch[epoch] = self._snapshot_truth()
         self.path_discovery.new_epoch(epoch)
         sim_result = self.simulator.run_epoch(epoch)
-        paths = self.monitoring.paths_for_epoch(epoch)
-        report = self.analysis.analyze_epoch(epoch, paths)
+        last_finalized = self.service.last_finalized_epoch
+        if last_finalized is not None and epoch <= last_finalized:
+            # replaying an epoch the service already closed (the streamed
+            # evidence was dropped as late): recompute out-of-band, exactly
+            # like the legacy batch loop, so the returned report always
+            # matches this run's simulation.
+            paths = self.monitoring.paths_for_epoch(epoch)
+            report = self.analysis.analyze_epoch(epoch, paths)
+        else:
+            report = self.service.advance_epoch(epoch)
         self.monitoring.clear_epoch(epoch)
+        self._evidence_stream.epoch_done(epoch)
         return sim_result, report
 
+    def iter_epochs(
+        self, num_epochs: int, start_epoch: int = 0
+    ) -> Iterator[Tuple[EpochResult, EpochReport]]:
+        """Stream consecutive epochs without accumulating their results.
+
+        Long (dynamic) scenarios should iterate this generator instead of
+        calling :meth:`run`: each ``(EpochResult, EpochReport)`` pair is
+        yielded as soon as its epoch finalizes and can be dropped by the
+        consumer.  The heavyweight per-epoch state (simulation results with
+        every flow, evidence buffers, reports beyond the service's retention
+        window) is released as the run streams; only the small per-epoch
+        ground-truth snapshots (the failed-link sets behind
+        :meth:`ground_truth`) are retained for post-hoc scoring.
+        """
+        for i in range(num_epochs):
+            yield self.run_epoch(start_epoch + i)
+
     def run(self, num_epochs: int, start_epoch: int = 0) -> List[Tuple[EpochResult, EpochReport]]:
-        """Run several consecutive epochs."""
-        return [self.run_epoch(start_epoch + i) for i in range(num_epochs)]
+        """Run several consecutive epochs (materialized; see :meth:`iter_epochs`)."""
+        return list(self.iter_epochs(num_epochs, start_epoch=start_epoch))

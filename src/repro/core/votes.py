@@ -9,7 +9,7 @@ traced at all).  Votes are tallied per epoch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 from repro.discovery.agent import DiscoveredPath
@@ -50,6 +50,7 @@ class VoteTally:
         self._policy: VotePolicy = policy
         self._votes: Dict[DirectedLink, float] = {}
         self._contributions: List[VoteContribution] = []
+        self._row_by_flow: Dict[int, int] = {}
         self._items_cache: Optional[List[Tuple[DirectedLink, float]]] = None
         self._rank_cache: Optional[Dict[DirectedLink, int]] = None
 
@@ -74,10 +75,25 @@ class VoteTally:
         )
         for link in links:
             self._votes[link] = self._votes.get(link, 0.0) + weight
+        self._row_by_flow[flow_id] = len(self._contributions)
         self._contributions.append(contribution)
         self._items_cache = None
         self._rank_cache = None
         return contribution
+
+    def bump_retransmissions(self, flow_id: int, extra: int) -> None:
+        """Add ``extra`` retransmissions to ``flow_id``'s latest contribution.
+
+        The streaming service uses this O(1) update when an already-traced
+        flow retransmits again mid-epoch: the flow's path (and therefore its
+        votes) is unchanged, only the retransmission count — which noise
+        classification reads — grows.  Raises ``KeyError`` for unknown flows.
+        """
+        row = self._row_by_flow[flow_id]
+        contribution = self._contributions[row]
+        self._contributions[row] = replace(
+            contribution, retransmissions=contribution.retransmissions + extra
+        )
 
     def add_discovered_path(self, path: DiscoveredPath) -> VoteContribution:
         """Record the votes of a flow from its discovered (possibly partial) path."""
@@ -169,4 +185,5 @@ class VoteTally:
         clone = VoteTally(policy=self._policy)
         clone._votes = dict(self._votes)
         clone._contributions = list(self._contributions)
+        clone._row_by_flow = dict(self._row_by_flow)
         return clone

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.discovery.traceroute import TracerouteEngine, TracerouteResult
@@ -91,6 +91,11 @@ class PathDiscoveryStats:
     slb_failures: int = 0
     traceroutes_sent: int = 0
     incomplete_traces: int = 0
+
+    def reset(self) -> None:
+        """Reset every counter to its field default (epoch rollover)."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
 
 
 class PathDiscoveryAgent:

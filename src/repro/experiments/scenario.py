@@ -9,11 +9,12 @@ paper's evaluation section does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Literal, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterator, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.checkpoint import blame_from_dict, blame_to_dict
 from repro.baselines.binary_program import solve_binary_program
 from repro.baselines.integer_program import IntegerProgramResult, solve_integer_program
 from repro.core.analysis import EngineKind, EpochReport
@@ -31,7 +32,7 @@ from repro.metrics.evaluation import (
 )
 from repro.netsim.failures import FailureInjector, FailureScenario
 from repro.netsim.links import LinkStateTable
-from repro.netsim.script import ScenarioScript
+from repro.netsim.script import ScenarioScript, pair_from_json, pair_to_json
 from repro.netsim.simulator import EpochResult, SimulationConfig
 from repro.netsim.traffic import (
     HotTorTraffic,
@@ -107,6 +108,83 @@ class ScenarioConfig:
             n2=self.n2,
             hosts_per_tor=self.hosts_per_tor,
         )
+
+    # ------------------------------------------------------------------
+    # serialization: scenarios as shareable JSON files
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """The config as JSON-ready primitives (lossless round-trip).
+
+        ``repro-007 scenario --dump-config`` writes this; ``--config`` reads
+        it back, so whole scenarios travel as ``*.json`` files.
+        """
+        return {
+            "npod": self.npod,
+            "n0": self.n0,
+            "n1": self.n1,
+            "n2": self.n2,
+            "hosts_per_tor": self.hosts_per_tor,
+            "traffic": self.traffic,
+            "connections_per_host": pair_to_json(self.connections_per_host),
+            "packets_per_flow": pair_to_json(self.packets_per_flow),
+            "num_hot_tors": self.num_hot_tors,
+            "hot_fraction": self.hot_fraction,
+            "hot_tor_skew": self.hot_tor_skew,
+            "failure_kind": self.failure_kind,
+            "num_bad_links": self.num_bad_links,
+            "drop_rate_range": list(self.drop_rate_range),
+            "noise_range": list(self.noise_range),
+            "failure_levels": (
+                None
+                if self.failure_levels is None
+                else [int(level) for level in self.failure_levels]
+            ),
+            "failure_level": int(self.failure_level),
+            "failure_downward": self.failure_downward,
+            "dominant_drop_rate_range": list(self.dominant_drop_rate_range),
+            "minor_drop_rate_range": list(self.minor_drop_rate_range),
+            "script": None if self.script is None else self.script.to_dict(),
+            "epochs": self.epochs,
+            "seed": self.seed,
+            "use_slb": self.use_slb,
+            "engine": self.engine,
+            "vote_policy": self.vote_policy,
+            "blame": blame_to_dict(self.blame),
+            "simulate_setup_failures": self.simulate_setup_failures,
+            "storage_flow_fraction": self.storage_flow_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys raise)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ScenarioConfig keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        for key in ("connections_per_host", "packets_per_flow"):
+            if key in kwargs:
+                kwargs[key] = pair_from_json(kwargs[key])
+        for key in (
+            "drop_rate_range",
+            "noise_range",
+            "dominant_drop_rate_range",
+            "minor_drop_rate_range",
+        ):
+            if key in kwargs and kwargs[key] is not None:
+                lo, hi = kwargs[key]
+                kwargs[key] = (float(lo), float(hi))
+        if kwargs.get("failure_levels") is not None:
+            kwargs["failure_levels"] = tuple(
+                LinkLevel(level) for level in kwargs["failure_levels"]
+            )
+        if "failure_level" in kwargs:
+            kwargs["failure_level"] = LinkLevel(kwargs["failure_level"])
+        if isinstance(kwargs.get("blame"), dict):
+            kwargs["blame"] = blame_from_dict(kwargs["blame"])
+        if kwargs.get("script") is not None and isinstance(kwargs["script"], dict):
+            kwargs["script"] = ScenarioScript.from_dict(kwargs["script"])
+        return cls(**kwargs)
 
 
 @dataclass
@@ -206,6 +284,30 @@ class ScenarioResult:
         return false_alarm_rate_after_clear(
             self.detected_by_epoch(), self._truth_links_by_epoch()
         )
+
+    # ------------------------------------------------------------------
+    # multi-epoch aggregation (the ReportSink path, replayed post hoc)
+    # ------------------------------------------------------------------
+    def aggregate(self, topology: Optional[ClosTopology] = None):
+        """A :class:`~repro.core.aggregate.MultiEpochAggregator` over this run.
+
+        Replays every report (with its per-epoch ground truth) through the
+        aggregator's :meth:`~repro.core.aggregate.MultiEpochAggregator.ingest`
+        — the same fold a live scenario performs when the aggregator is
+        attached as a report sink.  The default (own-topology) aggregation is
+        built once and cached, so several aggregate metrics over one result
+        share a single replay.
+        """
+        from repro.core.aggregate import MultiEpochAggregator
+
+        if topology is None and getattr(self, "_aggregate_cache", None) is not None:
+            return self._aggregate_cache
+        aggregator = MultiEpochAggregator(topology=topology or self.topology)
+        for i, report in enumerate(self.reports):
+            aggregator.ingest(report, truth=self.truth_for_epoch(i))
+        if topology is None:
+            self._aggregate_cache = aggregator
+        return aggregator
 
     # ------------------------------------------------------------------
     # scoring the optimization baselines
@@ -318,8 +420,10 @@ def inject_failures(
     raise ValueError(f"unknown failure kind {config.failure_kind!r}")
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Run one full scenario: build, inject, simulate, analyse."""
+def build_system(
+    config: ScenarioConfig, sinks: Sequence = ()
+) -> Tuple[Zero07System, FailureScenario]:
+    """Build the ready-to-run system (and injected truth) of a scenario."""
     topology = ClosTopology(config.topology_params())
     link_table = LinkStateTable(
         topology,
@@ -351,18 +455,49 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         config=system_config,
         rng=config.seed,
         script=config.script,
+        sinks=sinks,
     )
-    runs = system.run(config.epochs)
-    epoch_results = [sim for sim, _ in runs]
-    reports = [report for _, report in runs]
+    return system, failure_scenario
+
+
+def stream_scenario(
+    config: ScenarioConfig, sinks: Sequence = ()
+) -> Iterator[Tuple[EpochResult, EpochReport, FailureScenario]]:
+    """Stream a scenario epoch by epoch without accumulating results.
+
+    Yields ``(epoch_result, report, truth)`` per epoch — the streaming
+    alternative to :func:`run_scenario` for long dynamic scenarios where
+    holding O(epochs) simulation results is not an option.  Report sinks fire
+    as each epoch finalizes.
+    """
+    system, _ = build_system(config, sinks=sinks)
+    for epoch_result, report in system.iter_epochs(config.epochs):
+        yield epoch_result, report, system.ground_truth(report.epoch)
+
+
+def run_scenario(config: ScenarioConfig, sinks: Sequence = ()) -> ScenarioResult:
+    """Run one full scenario: build, inject, simulate, analyse.
+
+    ``sinks`` (:class:`~repro.api.service.ReportSink` observers) are notified
+    with every finalized epoch report as the scenario streams through the
+    analysis service.
+    """
+    system, failure_scenario = build_system(config, sinks=sinks)
+    epoch_results: List[EpochResult] = []
+    reports: List[EpochReport] = []
+    truth_by_epoch: List[FailureScenario] = []
+    for epoch_result, report in system.iter_epochs(config.epochs):
+        epoch_results.append(epoch_result)
+        reports.append(report)
+        truth_by_epoch.append(system.ground_truth(epoch_result.epoch))
     return ScenarioResult(
         config=config,
-        topology=topology,
+        topology=system.topology,
         failure_scenario=failure_scenario,
         epoch_results=epoch_results,
         reports=reports,
         system=system,
-        truth_by_epoch=[system.ground_truth(r.epoch) for r in epoch_results],
+        truth_by_epoch=truth_by_epoch,
     )
 
 

@@ -95,6 +95,31 @@ def metric_detected_fraction_007(result: ScenarioResult) -> float:
 
 
 # ----------------------------------------------------------------------
+# aggregate metrics (the MultiEpochAggregator / ReportSink view)
+# ----------------------------------------------------------------------
+def metric_mean_detections_per_epoch(result: ScenarioResult) -> float:
+    """Mean links flagged per epoch (Section 8.3's operator-facing number)."""
+    return result.aggregate().detections_per_epoch()[0]
+
+
+def metric_false_alarm_fraction(result: ScenarioResult) -> float:
+    """Share of detection events naming a link not bad that epoch (truth-aware)."""
+    return result.aggregate().false_alarm_fraction()
+
+
+def aggregate_metrics() -> Dict[str, MetricFn]:
+    """Fleet-health metrics computed through the multi-epoch aggregator.
+
+    Module-level (picklable) like every other metric set, so sweeps over the
+    aggregator view parallelize across workers too.
+    """
+    return {
+        "detections_per_epoch": metric_mean_detections_per_epoch,
+        "false_alarm_fraction": metric_false_alarm_fraction,
+    }
+
+
+# ----------------------------------------------------------------------
 def average_over_trials(
     config: ScenarioConfig,
     metric_fns: Mapping[str, MetricFn],

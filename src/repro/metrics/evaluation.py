@@ -250,3 +250,53 @@ def top_k_recall(
         k = len(true_set)
     top = set(ranked_links[:k])
     return len(top & true_set) / len(true_set)
+
+
+# ----------------------------------------------------------------------
+# streaming scoring (the ReportSink path)
+# ----------------------------------------------------------------------
+class StreamingDetectionScorer:
+    """A report sink that scores detections online, epoch by epoch.
+
+    Attach to a streaming service (``Zero07Service(sinks=[scorer])`` or
+    ``run_scenario(config, sinks=[scorer])``) with a ``truth_lookup`` mapping
+    an epoch to its live ground-truth bad links; every finalized report is
+    scored immediately, so long scenarios never need to retain their reports
+    to compute precision/recall timelines.
+    """
+
+    def __init__(self, truth_lookup, physical: bool = False) -> None:
+        self._truth_lookup = truth_lookup
+        self._physical = physical
+        self.scores: Dict[int, DetectionScore] = {}
+
+    def on_report(self, report) -> None:
+        """Score one finalized epoch report against its epoch's truth.
+
+        Epochs whose ``truth_lookup`` returns ``None`` (no ground truth
+        available) are skipped rather than scored against nothing.
+        """
+        truth = self._truth_lookup(report.epoch)
+        if truth is None:
+            return
+        bad_links = getattr(truth, "bad_links", truth)
+        self.scores[report.epoch] = detection_precision_recall(
+            report.detected_links, bad_links, physical=self._physical
+        )
+
+    @property
+    def epochs_scored(self) -> int:
+        """Number of epochs scored so far."""
+        return len(self.scores)
+
+    def mean_precision(self) -> float:
+        """Mean per-epoch precision (``nan`` before any epoch was scored)."""
+        if not self.scores:
+            return float("nan")
+        return sum(s.precision for s in self.scores.values()) / len(self.scores)
+
+    def mean_recall(self) -> float:
+        """Mean per-epoch recall (``nan`` before any epoch was scored)."""
+        if not self.scores:
+            return float("nan")
+        return sum(s.recall for s in self.scores.values()) / len(self.scores)

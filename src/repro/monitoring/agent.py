@@ -9,8 +9,8 @@ epoch.  Connection-setup failures are observed but never traced
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional
 
 from repro.discovery.agent import DiscoveredPath, PathDiscoveryAgent
 from repro.netsim.events import ConnectionSetupFailureEvent, RetransmissionEvent
@@ -24,14 +24,35 @@ class MonitoringStats:
     setup_failure_events: int = 0
     paths_discovered: int = 0
 
+    def reset(self) -> None:
+        """Reset every counter to its field default (epoch rollover)."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
+
 
 class TcpMonitoringAgent:
-    """Bridges retransmission events to path discovery and collects the results."""
+    """Bridges retransmission events to path discovery and collects the results.
+
+    Besides buffering per-epoch discovered paths for the batch consumers, the
+    agent exposes two streaming hooks (plain callables, set after
+    construction) so evidence can flow out *as it is observed*:
+
+    * ``on_new_path(epoch, path)`` — a path was discovered for the first time
+      this epoch;
+    * ``on_repeat_retransmissions(epoch, flow_id, extra)`` — an
+      already-traced flow retransmitted ``extra`` more times (its cached path
+      was updated in place).
+
+    :class:`repro.api.sources.MonitoringEvidenceStream` binds these to the
+    streaming service.
+    """
 
     def __init__(self, path_discovery: PathDiscoveryAgent) -> None:
         self._path_discovery = path_discovery
         self._discovered: Dict[int, List[DiscoveredPath]] = {}
         self.stats = MonitoringStats()
+        self.on_new_path: Optional[Callable[[int, DiscoveredPath], None]] = None
+        self.on_repeat_retransmissions: Optional[Callable[[int, int, int], None]] = None
 
     # ------------------------------------------------------------------
     def handle_event(self, event: object) -> None:
@@ -50,6 +71,14 @@ class TcpMonitoringAgent:
         epoch_paths = self._discovered.setdefault(event.epoch, [])
         if discovered not in epoch_paths:
             epoch_paths.append(discovered)
+            if self.on_new_path is not None:
+                self.on_new_path(event.epoch, discovered)
+        elif self.on_repeat_retransmissions is not None:
+            # the discovery agent already folded event.retransmissions into
+            # its cached path; mirror the same increment downstream.
+            self.on_repeat_retransmissions(
+                event.epoch, event.flow_id, event.retransmissions
+            )
 
     # ------------------------------------------------------------------
     def paths_for_epoch(self, epoch: int) -> List[DiscoveredPath]:

@@ -145,6 +145,124 @@ ScenarioEvent = Union[LinkFlap, CongestionBurst, SwitchReboot, LinkDrain, Traffi
 
 
 # ----------------------------------------------------------------------
+# event serialization (ScenarioScript.to_dict / from_dict)
+# ----------------------------------------------------------------------
+def pair_to_json(value):
+    """Serialize an ``int | (int, int)`` field (``None`` passes through)."""
+    if value is None or isinstance(value, int):
+        return value
+    return list(value)
+
+
+def pair_from_json(value):
+    """Invert :func:`pair_to_json` — tuples restore as tuples."""
+    if value is None or isinstance(value, int):
+        return value
+    lo, hi = value
+    return (int(lo), int(hi))
+
+
+def _event_to_dict(event: ScenarioEvent) -> dict:
+    """One scenario event as JSON-ready primitives with a ``"kind"`` tag."""
+    if isinstance(event, LinkFlap):
+        return {
+            "kind": "flap",
+            "start_epoch": event.start_epoch,
+            "duration_epochs": event.duration_epochs,
+            "drop_rate": event.drop_rate,
+            "link": None if event.link is None else [event.link.src, event.link.dst],
+            "level": None if event.level is None else int(event.level),
+        }
+    if isinstance(event, CongestionBurst):
+        return {
+            "kind": "burst",
+            "start_epoch": event.start_epoch,
+            "duration_epochs": event.duration_epochs,
+            "level": int(event.level),
+            "num_links": event.num_links,
+            "drop_rate": event.drop_rate,
+        }
+    if isinstance(event, SwitchReboot):
+        return {
+            "kind": "reboot",
+            "epoch": event.epoch,
+            "outage_epochs": event.outage_epochs,
+            "switch": event.switch,
+            "tier": None if event.tier is None else int(event.tier),
+        }
+    if isinstance(event, LinkDrain):
+        return {
+            "kind": "drain",
+            "start_epoch": event.start_epoch,
+            "duration_epochs": event.duration_epochs,
+            "link": None if event.link is None else [event.link.a, event.link.b],
+            "level": None if event.level is None else int(event.level),
+        }
+    if isinstance(event, TrafficShift):
+        return {
+            "kind": "shift",
+            "epoch": event.epoch,
+            "traffic": event.traffic,
+            "connections_per_host": pair_to_json(event.connections_per_host),
+            "packets_per_flow": pair_to_json(event.packets_per_flow),
+            "num_hot_tors": event.num_hot_tors,
+            "hot_fraction": event.hot_fraction,
+            "hot_tor_skew": event.hot_tor_skew,
+        }
+    raise TypeError(f"unknown scenario event {event!r}")
+
+
+def _event_from_dict(data: dict) -> ScenarioEvent:
+    """Rebuild one scenario event from :func:`_event_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "flap":
+        link = data.get("link")
+        return LinkFlap(
+            start_epoch=int(data["start_epoch"]),
+            duration_epochs=int(data["duration_epochs"]),
+            drop_rate=float(data["drop_rate"]),
+            link=None if link is None else DirectedLink(link[0], link[1]),
+            level=None if data.get("level") is None else LinkLevel(data["level"]),
+        )
+    if kind == "burst":
+        return CongestionBurst(
+            start_epoch=int(data["start_epoch"]),
+            duration_epochs=int(data["duration_epochs"]),
+            level=LinkLevel(data["level"]),
+            num_links=int(data["num_links"]),
+            drop_rate=float(data["drop_rate"]),
+        )
+    if kind == "reboot":
+        return SwitchReboot(
+            epoch=int(data["epoch"]),
+            outage_epochs=int(data["outage_epochs"]),
+            switch=data.get("switch"),
+            tier=None if data.get("tier") is None else SwitchTier(data["tier"]),
+        )
+    if kind == "drain":
+        link = data.get("link")
+        return LinkDrain(
+            start_epoch=int(data["start_epoch"]),
+            duration_epochs=int(data["duration_epochs"]),
+            link=None if link is None else Link.of(link[0], link[1]),
+            level=None if data.get("level") is None else LinkLevel(data["level"]),
+        )
+    if kind == "shift":
+        connections = data.get("connections_per_host")
+        packets = data.get("packets_per_flow")
+        return TrafficShift(
+            epoch=int(data["epoch"]),
+            traffic=data["traffic"],
+            connections_per_host=pair_from_json(connections),
+            packets_per_flow=pair_from_json(packets),
+            num_hot_tors=int(data["num_hot_tors"]),
+            hot_fraction=float(data["hot_fraction"]),
+            hot_tor_skew=float(data["hot_tor_skew"]),
+        )
+    raise ValueError(f"unknown scenario event kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # the script
 # ----------------------------------------------------------------------
 @dataclass
@@ -233,6 +351,20 @@ class ScenarioScript:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """The script as JSON-ready primitives (lossless round-trip).
+
+        Scenario scripts serialize so whole scenarios can be shared as
+        ``*.json`` files (``ScenarioConfig.to_dict`` embeds this).
+        """
+        return {"events": [_event_to_dict(event) for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioScript":
+        """Rebuild a script from :meth:`to_dict` output."""
+        return cls(events=[_event_from_dict(entry) for entry in data.get("events", [])])
 
     # -- compilation ----------------------------------------------------
     def compile(

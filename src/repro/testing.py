@@ -24,3 +24,25 @@ def pair_of_hosts(topology: ClosTopology, cross_pod: bool = True) -> tuple[str, 
         if not cross_pod and host.pod == src_pod and host.tor != topology.host(src).tor:
             return src, dst
     raise RuntimeError("no suitable host pair found")
+
+
+def report_signature(report) -> tuple:
+    """Every user-visible field of an :class:`EpochReport`, exact floats.
+
+    Two reports with equal signatures are bit-identical for every consumer:
+    same detections (order included), same ranked tally, same flow causes,
+    same noise split, same thresholds.  Used by the streaming-vs-batch,
+    checkpoint and shard equivalence tests.
+    """
+    return (
+        report.epoch,
+        [str(link) for link in report.detected_links],
+        [(str(link), votes) for link, votes in report.ranked_links],
+        sorted((flow, str(link)) for flow, link in report.flow_causes.items()),
+        sorted(report.noise.noise_flows),
+        sorted(report.noise.failure_flows),
+        report.num_paths_analyzed,
+        report.blame.threshold_votes,
+        sorted((str(link), votes) for link, votes in report.blame.votes_at_detection.items()),
+        sorted((str(link), votes) for link, votes in report.blame.final_votes.items()),
+    )

@@ -1,0 +1,126 @@
+"""Public-API snapshot of ``repro.api``.
+
+The streaming service is the repo's stable system boundary: CLI, sweeps,
+aggregation and external consumers all build on it.  This test pins the
+exported names *and the signatures of the core entry points*, so an
+accidental breaking change (renamed method, reordered/removed parameter,
+changed default) fails CI and has to be made deliberately — by updating this
+snapshot in the same commit that changes the surface.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.api as api
+
+EXPECTED_EXPORTS = {
+    # events
+    "Evidence",
+    "PathEvidence",
+    "RetransmissionEvidence",
+    "EpochTick",
+    "evidence_to_dict",
+    "evidence_from_dict",
+    # service
+    "Zero07Service",
+    "ServiceStats",
+    "EvidenceSource",
+    "ReportSink",
+    "CallbackSink",
+    "DetectionLogSink",
+    # scale-out
+    "ShardedService",
+    "shard_of_host",
+    # checkpointing
+    "Checkpoint",
+    "CHECKPOINT_VERSION",
+    # sources
+    "MonitoringEvidenceStream",
+    "ReplayEvidenceSource",
+    "EvidenceRecorder",
+    "path_evidence_stream",
+}
+
+#: pinned signatures of the stable entry points.  The modules use
+#: ``from __future__ import annotations``, so ``inspect.signature`` renders
+#: the literal (stringified) annotations — which is exactly what we pin.
+EXPECTED_SIGNATURES = {
+    "Zero07Service.__init__": (
+        "(self, blame_config: 'Optional[BlameConfig]' = None, "
+        "vote_policy: 'VotePolicy' = 'inverse_hops', "
+        "engine: 'EngineKind' = 'arrays', "
+        "attribute_noise_flows: 'bool' = False, "
+        "sinks: 'Sequence[ReportSink]' = (), "
+        "retain_reports: 'int' = 8, "
+        "link_index: 'Optional[LinkIndex]' = None) -> 'None'"
+    ),
+    "Zero07Service.ingest": "(self, event: 'Evidence') -> 'None'",
+    "Zero07Service.ingest_batch": "(self, events: 'Iterable[Evidence]') -> 'None'",
+    "Zero07Service.report": "(self, epoch: 'Optional[int]' = None) -> 'EpochReport'",
+    "Zero07Service.advance_epoch": "(self, epoch: 'int') -> 'EpochReport'",
+    "Zero07Service.checkpoint": "(self) -> 'Checkpoint'",
+    "Zero07Service.restore": (
+        "(checkpoint: 'Checkpoint', sinks: 'Sequence[ReportSink]' = (), "
+        "link_index: 'Optional[LinkIndex]' = None) -> \"'Zero07Service'\""
+    ),
+    "ShardedService.__init__": (
+        "(self, num_shards: 'int' = 2, "
+        "blame_config: 'Optional[BlameConfig]' = None, "
+        "vote_policy: 'VotePolicy' = 'inverse_hops', "
+        "engine: 'EngineKind' = 'arrays', "
+        "attribute_noise_flows: 'bool' = False, "
+        "sinks: 'Sequence[ReportSink]' = (), "
+        "retain_reports: 'int' = 8) -> 'None'"
+    ),
+    "ShardedService.report": "(self, epoch: 'Optional[int]' = None) -> 'EpochReport'",
+    "Checkpoint.to_json": "(self, indent: 'int | None' = None) -> 'str'",
+    "Checkpoint.from_json": "(text: 'str') -> \"'Checkpoint'\"",
+    "ReportSink.on_report": "(self, report: 'EpochReport') -> 'None'",
+    "EvidenceSource.events": "(self) -> 'Iterable[Evidence]'",
+    "path_evidence_stream": (
+        "(epoch: 'int', paths: 'Sequence[DiscoveredPath]', "
+        "tick: 'bool' = False) -> 'Iterator[Evidence]'"
+    ),
+    "shard_of_host": "(host: 'str', num_shards: 'int') -> 'int'",
+}
+
+
+def _resolve(dotted: str):
+    obj = api
+    for part in dotted.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def test_exported_names_are_exactly_the_snapshot():
+    assert set(api.__all__) == EXPECTED_EXPORTS
+    for name in EXPECTED_EXPORTS:
+        assert hasattr(api, name), f"__all__ lists {name} but it is missing"
+
+
+def test_core_entry_point_signatures_are_pinned():
+    drifted = {}
+    for dotted, expected in EXPECTED_SIGNATURES.items():
+        actual = str(inspect.signature(_resolve(dotted)))
+        if actual != expected:
+            drifted[dotted] = actual
+    assert not drifted, (
+        "public API signatures drifted — if intentional, update the snapshot "
+        f"in the same commit: {drifted}"
+    )
+
+
+def test_evidence_event_fields_are_pinned():
+    """The wire format: field names (and order) of every evidence event."""
+    import dataclasses
+
+    fields = {
+        cls.__name__: [f.name for f in dataclasses.fields(cls)]
+        for cls in (api.PathEvidence, api.RetransmissionEvidence, api.EpochTick)
+    }
+    assert fields == {
+        "PathEvidence": ["epoch", "seq", "path"],
+        "RetransmissionEvidence": ["epoch", "flow_id", "retransmissions", "seq"],
+        "EpochTick": ["epoch"],
+    }

@@ -112,3 +112,30 @@ class TestRunPointSweep:
     def test_invalid_workers_raise(self):
         with pytest.raises(ValueError):
             SweepRunner(workers=-1)
+
+
+class TestAggregateMetrics:
+    """The aggregator-backed metric set rides the sweep runner (and pickles)."""
+
+    def test_aggregate_metrics_serial(self):
+        from repro.experiments.sweeps import aggregate_metrics
+
+        config = _config(seed=3)
+        scores = average_over_trials(config, aggregate_metrics(), trials=2)
+        assert set(scores) == {"detections_per_epoch", "false_alarm_fraction"}
+        assert scores["detections_per_epoch"] >= 0.0
+
+    def test_aggregate_metrics_parallel_matches_serial(self):
+        from repro.experiments.sweeps import aggregate_metrics
+
+        config = _config(seed=3)
+        serial = SweepRunner(workers=1).run_trials(
+            config, aggregate_metrics(), trials=2
+        )
+        parallel = SweepRunner(workers=2).run_trials(
+            config, aggregate_metrics(), trials=2
+        )
+        for key in serial:
+            assert np.array([serial[key]]).tobytes() == np.array(
+                [parallel[key]]
+            ).tobytes()
