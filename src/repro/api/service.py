@@ -31,7 +31,10 @@ not O(history).
 from __future__ import annotations
 
 import dataclasses
+import operator
 from dataclasses import dataclass
+
+import numpy as np
 from typing import (
     Any,
     Callable,
@@ -145,21 +148,35 @@ class _EpochState:
     """Evidence buffers and the live incremental tally of one open epoch."""
 
     __slots__ = (
-        "records",
+        "rec_seqs",
+        "rec_paths",
         "by_flow",
+        "by_flow_upto",
         "seqs",
         "retransmission_seqs",
         "tally",
         "dirty",
         "last_seq",
+        "max_seq",
         "pending_retransmissions",
     )
 
     def __init__(self, tally) -> None:
-        #: ``(seq, path)`` records; kept in seq order whenever ``not dirty``.
-        self.records: List[Tuple[int, DiscoveredPath]] = []
-        #: flow id -> the service's own path copy (for O(1) retrans bumps).
+        #: parallel per-record lists (seq, path); kept in seq order whenever
+        #: ``not dirty``.  Parallel lists instead of tuples: the bulk ingest
+        #: path appends hundreds of thousands of records per epoch, and the
+        #: per-record tuple was measurable allocation churn.
+        self.rec_seqs: List[int] = []
+        self.rec_paths: List[DiscoveredPath] = []
+        #: flow id -> the flow's most recently *arrived* path record (count
+        #: updates bind to it).  Maintained lazily: ``by_flow_upto`` is the
+        #: number of ``rec_paths`` entries already folded in, and
+        #: :meth:`flow_path` folds the arrival-ordered tail on demand — so
+        #: the bulk ingest path pays nothing for it, and a dirty rebuild
+        #: (which re-sorts the records) can materialize the bindings *before*
+        #: arrival order is destroyed.
         self.by_flow: Dict[int, DiscoveredPath] = {}
+        self.by_flow_upto = 0
         #: seen sequence numbers (duplicate-delivery suppression).
         self.seqs: set = set()
         #: the subset of ``seqs`` consumed by retransmission updates (their
@@ -170,8 +187,60 @@ class _EpochState:
         #: set when out-of-order arrival invalidated the incremental tally.
         self.dirty = False
         self.last_seq = -1
+        #: highest sequence number seen by *any* event kind (paths and
+        #: retransmission updates share the space); the batched fast path
+        #: uses it to prove a whole batch is duplicate-free in O(1).
+        self.max_seq = -1
         #: retransmission updates that arrived before their flow's path.
         self.pending_retransmissions: Dict[int, int] = {}
+
+    def flow_path(self) -> Dict[int, DiscoveredPath]:
+        """``by_flow``, folded forward over the records not yet reflected.
+
+        Only ever called while ``rec_paths[by_flow_upto:]`` is still in
+        arrival order (appends happen in arrival order; the dirty rebuild
+        materializes the map *before* sorting), so the last fold for a flow
+        is its most recently arrived record — per-event semantics.
+        """
+        if self.by_flow_upto < len(self.rec_paths):
+            by_flow = self.by_flow
+            for path in self.rec_paths[self.by_flow_upto :]:
+                by_flow[path.flow_id] = path
+            self.by_flow_upto = len(self.rec_paths)
+        return self.by_flow
+
+
+def iter_evidence_runs(events: List[Evidence]):
+    """Segment an event list into maximal single-epoch evidence runs.
+
+    Yields ``("run", epoch, run)`` for each maximal stretch of consecutive
+    :class:`PathEvidence`/:class:`RetransmissionEvidence` events sharing one
+    epoch, and ``("event", None, [event])`` for everything else (ticks,
+    unknown kinds).  Shared by :meth:`Zero07Service.ingest_batch` and
+    :meth:`~repro.api.sharded.ShardedService.ingest_batch`, so the two ingest
+    facades can never diverge on what constitutes a batchable run.
+    """
+    total = len(events)
+    start = 0
+    while start < total:
+        event = events[start]
+        kind = type(event)
+        if kind is PathEvidence or kind is RetransmissionEvidence:
+            stop = start + 1
+            epoch = event.epoch
+            while stop < total:
+                nxt = type(events[stop])
+                if (
+                    nxt is not PathEvidence
+                    and nxt is not RetransmissionEvidence
+                ) or events[stop].epoch != epoch:
+                    break
+                stop += 1
+            yield "run", epoch, events[start:stop]
+            start = stop
+        else:
+            yield "event", None, [event]
+            start += 1
 
 
 class Zero07Service:
@@ -287,7 +356,7 @@ class Zero07Service:
         state = self._epochs.get(epoch)
         if state is None:
             return []
-        return sorted(state.records, key=lambda record: record[0])
+        return sorted(zip(state.rec_seqs, state.rec_paths), key=lambda r: r[0])
 
     # ------------------------------------------------------------------
     # ingestion
@@ -303,14 +372,77 @@ class Zero07Service:
         else:
             raise TypeError(f"not an evidence event: {event!r}")
 
-    def ingest_batch(self, events: Iterable[Evidence]) -> None:
-        """Ingest many evidence events in order."""
-        for event in events:
-            self.ingest(event)
+    def ingest_batch(self, events: Iterable[Evidence], owned: bool = False) -> None:
+        """Ingest many evidence events in order.
 
-    def consume(self, source: EvidenceSource) -> None:
-        """Drain an :class:`EvidenceSource` into the service."""
-        self.ingest_batch(source.events())
+        Homogeneous runs (consecutive events of one kind for one epoch, in
+        strictly increasing sequence order — exactly what the monitoring
+        bridge, the load generator and checkpoint replays emit) take a
+        vectorized fast path: path runs update the tally with one bulk
+        ``add_flows`` call instead of per-event dispatch, and retransmission
+        runs are aggregated per flow with numpy so the tally is bumped once
+        per *changed flow*, not once per event.  Any batch that violates the
+        fast path's preconditions (duplicates, reordering, pending state)
+        falls back to the event-at-a-time path — results are bit-identical
+        either way, only the speed differs.
+
+        ``owned=True`` declares that the caller hands over ownership of the
+        events: the service skips its defensive per-event path copies.  Only
+        pass it for streams whose paths nobody else will read or mutate
+        (freshly generated or deserialized events).  The default remains
+        copy-on-ingest, which is what live monitoring sources need — they
+        mutate their ``DiscoveredPath`` objects in place on later
+        retransmissions.
+        """
+        if "ingest" in self.__dict__:
+            # ``ingest`` was wrapped on the instance (EvidenceRecorder taps
+            # it to capture the stream) — every event must flow through the
+            # wrapper, so the fast path would silently bypass the tap.
+            for event in events:
+                self.ingest(event)
+            return
+        events = events if isinstance(events, list) else list(events)
+        total = len(events)
+        if total >= 8:
+            # Common shape: one epoch's evidence, optionally ending with its
+            # tick.  Both checks run through C iterators — EpochTick has no
+            # ``seq``, so a single attrgetter pass proves "evidence only".
+            tail = 1 if type(events[-1]) is EpochTick else 0
+            body = events[:-1] if tail else events
+            try:
+                seqs = np.fromiter(
+                    map(operator.attrgetter("seq"), body),
+                    dtype=np.int64,
+                    count=len(body),
+                )
+                epochs = np.fromiter(
+                    map(operator.attrgetter("epoch"), body),
+                    dtype=np.int64,
+                    count=len(body),
+                )
+            except (AttributeError, TypeError):
+                pass  # ticks mid-batch or seq-less updates: segment below
+            else:
+                epoch = int(epochs[0])
+                if int(epochs[-1]) == epoch and bool((epochs == epoch).all()):
+                    self._ingest_evidence_run(epoch, body, owned, seqs)
+                    if tail:
+                        self.ingest(events[-1])
+                    return
+        for kind, epoch, chunk in iter_evidence_runs(events):
+            if kind == "run":
+                self._ingest_evidence_run(epoch, chunk, owned)
+            else:
+                self.ingest(chunk[0])
+
+    def consume(self, source: EvidenceSource, owned: bool = False) -> None:
+        """Drain an :class:`EvidenceSource` into the service.
+
+        ``owned=True`` skips defensive path copies (see :meth:`ingest_batch`);
+        only use it when the source will never replay the same events into
+        another consumer.
+        """
+        self.ingest_batch(source.events(), owned=owned)
 
     def _seen_epoch(self, epoch: int) -> None:
         if self._max_epoch_seen is None or epoch > self._max_epoch_seen:
@@ -334,7 +466,7 @@ class Zero07Service:
             return ArrayVoteTally(policy=self._vote_policy, index=self._link_index)
         return VoteTally(policy=self._vote_policy)
 
-    def _ingest_path(self, event: PathEvidence) -> None:
+    def _ingest_path(self, event: PathEvidence, owned: bool = False) -> None:
         if self._is_late(event.epoch):
             return
         self._seen_epoch(event.epoch)
@@ -343,12 +475,14 @@ class Zero07Service:
             self.stats.duplicate_events += 1
             return
         state.seqs.add(event.seq)
-        path = copy_path(event.path)
+        if event.seq > state.max_seq:
+            state.max_seq = event.seq
+        path = event.path if owned else copy_path(event.path)
         pending = state.pending_retransmissions.pop(path.flow_id, 0)
         if pending:
             path.retransmissions += pending
-        state.records.append((event.seq, path))
-        state.by_flow[path.flow_id] = path
+        state.rec_seqs.append(event.seq)
+        state.rec_paths.append(path)
         if not state.dirty and event.seq > state.last_seq:
             state.tally.add_flow(path.flow_id, path.links, path.retransmissions)
             state.last_seq = event.seq
@@ -373,7 +507,9 @@ class Zero07Service:
                 return
             state.seqs.add(event.seq)
             state.retransmission_seqs.add(event.seq)
-        path = state.by_flow.get(event.flow_id)
+            if event.seq > state.max_seq:
+                state.max_seq = event.seq
+        path = state.flow_path().get(event.flow_id)
         if path is None:
             # the flow's path evidence has not arrived (yet) — hold the count
             state.pending_retransmissions[event.flow_id] = (
@@ -385,6 +521,153 @@ class Zero07Service:
             if not state.dirty:
                 state.tally.bump_retransmissions(event.flow_id, event.retransmissions)
         self.stats.retransmission_updates += 1
+
+    # ------------------------------------------------------------------
+    # batched fast path (bit-identical to the per-event path)
+    # ------------------------------------------------------------------
+    def _ingest_evidence_fallback(self, run: List[Evidence], owned: bool) -> None:
+        """Event-at-a-time replay of a run (handles every edge case).
+
+        Mirrors :meth:`ingest`'s dispatch exactly — subclasses are accepted
+        via ``isinstance``, unknown kinds raise — so the fast path may hand
+        *anything* here and get per-event semantics.
+        """
+        for event in run:
+            if isinstance(event, PathEvidence):
+                self._ingest_path(event, owned)
+            elif isinstance(event, RetransmissionEvidence):
+                self._ingest_retransmission(event)
+            else:
+                raise TypeError(f"not an evidence event: {event!r}")
+
+    def _ingest_evidence_run(
+        self,
+        epoch: int,
+        run: List[Evidence],
+        owned: bool,
+        seqs: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk-ingest one epoch's run of path + retransmission evidence.
+
+        The vectorized path applies all path evidence with one bulk
+        ``add_flows`` tally update, then folds the run's retransmission
+        updates aggregated per flow (``np.unique``/``np.bincount``) — one
+        numpy-summed bump per *changed flow* instead of one Python dispatch
+        per event.  Because count updates never move votes, applying them
+        after the run's paths is state-identical to the interleaved per-event
+        order (integer sums commute; the path objects and tally rows end in
+        exactly the same state).
+        """
+        if self._last_finalized is not None and epoch <= self._last_finalized:
+            self.stats.late_events += len(run)
+            return
+        if len(run) < 8:
+            self._ingest_evidence_fallback(run, owned)
+            return
+        self._seen_epoch(epoch)
+        state = self._state(epoch)
+        # Fast-path preconditions: the run extends the epoch in strictly
+        # increasing sequence order with no duplicates (every seq above
+        # everything already seen), every update carries a seq, the
+        # incremental tally is valid, and no buffered count updates await
+        # these flows.  Anything else replays the per-event path.  The
+        # validation pass below mutates nothing, so the fallback never sees
+        # a half-applied run.
+        if state.dirty or state.pending_retransmissions:
+            self._ingest_evidence_fallback(run, owned)
+            return
+        if seqs is None:
+            try:
+                seqs = np.fromiter(
+                    map(operator.attrgetter("seq"), run),
+                    dtype=np.int64,
+                    count=len(run),
+                )
+            except TypeError:  # a seq-less update in the run
+                self._ingest_evidence_fallback(run, owned)
+                return
+        if int(seqs[0]) <= state.max_seq or not bool((np.diff(seqs) > 0).all()):
+            self._ingest_evidence_fallback(run, owned)
+            return
+
+        raw_paths = [e.path for e in run if type(e) is PathEvidence]
+        if len(raw_paths) == len(run):
+            path_seqs = seqs.tolist()
+            updates: List[RetransmissionEvidence] = []
+        else:
+            path_seqs = [e.seq for e in run if type(e) is PathEvidence]
+            updates = [e for e in run if type(e) is RetransmissionEvidence]
+            if len(raw_paths) + len(updates) != len(run):
+                # an exotic event kind (e.g. a PathEvidence subclass) slipped
+                # past the attribute gate; the per-event path knows how to
+                # handle — or loudly reject — it.  Never swallow events.
+                self._ingest_evidence_fallback(run, owned)
+                return
+            # Applying updates after the run's paths is only equivalent to
+            # the interleaved per-event order if no update's flow is traced
+            # *again* later in the run (the per-event path would bump the
+            # earlier record, the batch path the final one).  Re-traced
+            # flows mid-run are a degenerate stream — fall back.
+            last_path_seq = dict(
+                zip(map(operator.attrgetter("flow_id"), raw_paths), path_seqs)
+            )
+            seq_of_last_path = last_path_seq.get
+            if any(
+                seq_of_last_path(e.flow_id, -1) > e.seq for e in updates
+            ):
+                self._ingest_evidence_fallback(run, owned)
+                return
+
+        if raw_paths:
+            paths = raw_paths if owned else [copy_path(p) for p in raw_paths]
+            state.rec_seqs.extend(path_seqs)
+            state.rec_paths.extend(paths)
+            state.tally.add_flows(paths)
+            state.last_seq = path_seqs[-1]
+            self.stats.paths_ingested += len(paths)
+
+        if updates:
+            count = len(updates)
+            flows = np.fromiter(
+                map(operator.attrgetter("flow_id"), updates),
+                dtype=np.int64,
+                count=count,
+            )
+            counts = np.fromiter(
+                map(operator.attrgetter("retransmissions"), updates),
+                dtype=np.int64,
+                count=count,
+            )
+            unique_flows, inverse = np.unique(flows, return_inverse=True)
+            totals = np.bincount(inverse, weights=counts.astype(np.float64))
+            # flow -> path resolution through the tally's row map: the tally
+            # is clean here (precondition), so its rows align 1:1 with
+            # ``rec_paths`` and the lazily-folded ``by_flow`` is not needed.
+            flow_list = unique_flows.tolist()
+            extras = totals.astype(np.int64).tolist()
+            rows = list(map(state.tally.row_of_flow, flow_list))
+            rec_paths = state.rec_paths
+            if None in rows:  # some flows' paths have not arrived: buffer them
+                pending = state.pending_retransmissions
+                known_rows: List[int] = []
+                known_extras: List[int] = []
+                for flow_id, row, extra in zip(flow_list, rows, extras):
+                    if row is None:
+                        pending[flow_id] = pending.get(flow_id, 0) + extra
+                    else:
+                        known_rows.append(row)
+                        known_extras.append(extra)
+                rows, extras = known_rows, known_extras
+            for row, extra in zip(rows, extras):
+                rec_paths[row].retransmissions += extra
+            state.tally.bump_rows(rows, extras)
+            state.retransmission_seqs.update(
+                map(operator.attrgetter("seq"), updates)
+            )
+            self.stats.retransmission_updates += count
+
+        state.seqs.update(seqs.tolist())
+        state.max_seq = int(seqs[-1])
 
     def _ingest_tick(self, event: EpochTick) -> None:
         if self._is_late(event.epoch):
@@ -412,13 +695,21 @@ class Zero07Service:
     def _rebuild_if_dirty(self, state: _EpochState) -> None:
         if not state.dirty:
             return
-        state.records.sort(key=lambda record: record[0])
+        # Materialize the lazy by_flow NOW, while rec_paths is still in
+        # arrival order: per-event semantics bind count updates to the most
+        # recently *arrived* record of a flow, and the sort below destroys
+        # that ordering for good (the watermark equals len(rec_paths) after
+        # this, so no post-sort fold can rebind anything).
+        state.flow_path()
+        order = sorted(range(len(state.rec_seqs)), key=state.rec_seqs.__getitem__)
+        state.rec_seqs = [state.rec_seqs[i] for i in order]
+        state.rec_paths = [state.rec_paths[i] for i in order]
         tally = self._new_tally()
-        for seq, path in state.records:
+        for path in state.rec_paths:
             tally.add_flow(path.flow_id, path.links, path.retransmissions)
         state.tally = tally
         state.dirty = False
-        state.last_seq = state.records[-1][0] if state.records else -1
+        state.last_seq = state.rec_seqs[-1] if state.rec_seqs else -1
 
     def _materialize(self, epoch: int, state: Optional[_EpochState], final: bool) -> EpochReport:
         if state is None:
@@ -430,7 +721,7 @@ class Zero07Service:
             # mutate an already-returned report; the final report owns the
             # live tally (no copy) since the epoch's state is dropped.
             tally = state.tally if final else state.tally.copy()
-            paths = [path for _, path in state.records]
+            paths = list(state.rec_paths)
         self.stats.reports_materialized += 1
         return self._agent.analyze_tally(epoch, tally, paths)
 
@@ -495,7 +786,9 @@ class Zero07Service:
         epochs = []
         for epoch in sorted(self._epochs):
             state = self._epochs[epoch]
-            records = sorted(state.records, key=lambda record: record[0])
+            records = sorted(
+                zip(state.rec_seqs, state.rec_paths), key=lambda r: r[0]
+            )
             epochs.append(
                 {
                     "epoch": epoch,
@@ -570,6 +863,7 @@ class Zero07Service:
                 state = service._state(epoch)
                 state.retransmission_seqs.update(int(s) for s in retrans_seqs)
                 state.seqs.update(int(s) for s in retrans_seqs)
+                state.max_seq = max(state.max_seq, max(int(s) for s in retrans_seqs))
         service._max_epoch_seen = (
             int(payload["max_epoch_seen"])
             if payload["max_epoch_seen"] is not None

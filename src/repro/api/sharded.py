@@ -35,7 +35,7 @@ from repro.api.events import (
     PathEvidence,
     RetransmissionEvidence,
 )
-from repro.api.service import ReportSink, Zero07Service
+from repro.api.service import ReportSink, Zero07Service, iter_evidence_runs
 from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
 from repro.core.blame import BlameConfig
 from repro.core.votes import VotePolicy
@@ -88,6 +88,9 @@ class ShardedService:
         self._sinks: List[ReportSink] = list(sinks)
         #: epoch -> flow id -> owning shard (routes retransmission updates).
         self._flow_shard: Dict[int, Dict[int, int]] = {}
+        #: host name -> shard memo (bounded by the fabric's host count); a
+        #: dict hit on an interned string is ~4x cheaper than re-hashing CRC32.
+        self._shard_by_host: Dict[str, int] = {}
         #: retransmission updates whose path evidence has not arrived yet.
         self._pending: Dict[int, Dict[int, int]] = {}
         #: epoch -> retransmission-update seqs already consumed at the facade
@@ -176,10 +179,100 @@ class ShardedService:
         else:
             raise TypeError(f"not an evidence event: {event!r}")
 
-    def ingest_batch(self, events) -> None:
-        """Ingest many evidence events in order."""
-        for event in events:
-            self.ingest(event)
+    def ingest_batch(self, events, owned: bool = False) -> None:
+        """Ingest many evidence events in order.
+
+        Homogeneous runs are routed in bulk: path runs are partitioned by
+        shard in one pass and handed to each shard's own batched
+        :meth:`Zero07Service.ingest_batch` (which takes its vectorized fast
+        path, since per-shard sub-runs preserve increasing sequence order),
+        and retransmission runs are deduplicated at the facade with one set
+        operation before shard-side per-flow aggregation.  Batches violating
+        the fast-path preconditions (duplicates, buffered pending updates,
+        unknown flows) fall back to :meth:`ingest` per event — bit-identical
+        either way.  ``owned=True`` propagates to the shards (skips their
+        defensive path copies; fallbacks stay defensive).
+        """
+        if "ingest" in self.__dict__:
+            # ``ingest`` was wrapped on the instance (an EvidenceRecorder
+            # tap) — every event must flow through the wrapper.
+            for event in events:
+                self.ingest(event)
+            return
+        events = events if isinstance(events, list) else list(events)
+        for kind, epoch, chunk in iter_evidence_runs(events):
+            if kind == "run":
+                self._ingest_evidence_run(epoch, chunk, owned)
+            else:
+                self.ingest(chunk[0])
+
+    def _ingest_evidence_run(self, epoch: int, run, owned: bool) -> None:
+        """Partition one epoch's evidence run across the shards in one pass.
+
+        A validation pass proves the run is routable without facade
+        buffering (every count update carries a fresh seq and its flow's
+        path is already placed — by an earlier batch or earlier in this very
+        run); only then does the routing pass mutate facade state, so the
+        per-event fallback never sees a half-applied run.
+        """
+        if self._is_late(epoch):
+            return
+        per_event = self.ingest
+        if self._pending.get(epoch) or len(run) < 8:
+            for event in run:
+                per_event(event)
+            return
+        flow_map_get = self._flow_shard.get(epoch, {}).get
+        seen = self._retrans_seqs.get(epoch, set())
+        num_shards = self._num_shards
+        shard_cache = self._shard_by_host
+        shard_cache_get = shard_cache.get
+        # One local pass validates *and* partitions; facade state is only
+        # committed after the whole run proves routable, so the per-event
+        # fallback never sees a half-applied run.
+        routable = True
+        run_flows: Dict[int, int] = {}
+        run_seqs: set = set()
+        sub_runs: List[list] = [[] for _ in range(num_shards)]
+        appends = [sub.append for sub in sub_runs]
+        for event in run:
+            if type(event) is PathEvidence:
+                path = event.path
+                host = path.src_host
+                shard = shard_cache_get(host)
+                if shard is None:
+                    shard = shard_of_host(host, num_shards)
+                    shard_cache[host] = shard
+                run_flows[path.flow_id] = shard
+            elif type(event) is RetransmissionEvidence:
+                seq = event.seq
+                if seq is None or seq in seen or seq in run_seqs:
+                    routable = False
+                    break
+                shard = run_flows.get(event.flow_id)
+                if shard is None:
+                    shard = flow_map_get(event.flow_id)
+                    if shard is None:
+                        routable = False
+                        break
+                run_seqs.add(seq)
+            else:
+                # exotic kind (e.g. a subclass): per-event handles or rejects
+                routable = False
+                break
+            appends[shard](event)
+        if not routable:
+            for event in run:
+                per_event(event)
+            return
+        self._seen_epoch(epoch)
+        if run_flows:
+            self._flow_shard.setdefault(epoch, {}).update(run_flows)
+        if run_seqs:
+            self._retrans_seqs.setdefault(epoch, set()).update(run_seqs)
+        for shard, sub in enumerate(sub_runs):
+            if sub:
+                self._shards[shard].ingest_batch(sub, owned=owned)
 
     # ------------------------------------------------------------------
     # merged materialization

@@ -75,6 +75,9 @@ class EvidenceRecorder:
 
     def __init__(self, service: Zero07Service) -> None:
         self._service = service
+        #: whether ``ingest`` was already shadowed on the instance (another
+        #: recorder's tap) — detach must restore it, not delete it.
+        self._wrapped_instance_attr = "ingest" in service.__dict__
         self._inner = service.ingest
         self.events: List[Evidence] = []
         service.ingest = self.ingest  # type: ignore[method-assign]
@@ -85,8 +88,22 @@ class EvidenceRecorder:
         self._inner(event)
 
     def detach(self) -> None:
-        """Restore the service's original ``ingest``."""
-        self._service.ingest = self._inner  # type: ignore[method-assign]
+        """Restore the ``ingest`` that was in place before this recorder.
+
+        If this recorder wrapped another instance-level tap (stacked
+        recorders), that tap is re-installed; otherwise the instance
+        attribute is deleted so lookup falls back to the class method —
+        re-assigning the bound method would leave an instance attribute
+        behind, which ``ingest_batch`` treats as "still tapped" and would
+        permanently disable its vectorized fast path.
+        """
+        if self._wrapped_instance_attr:
+            self._service.ingest = self._inner  # type: ignore[method-assign]
+            return
+        try:
+            del self._service.ingest
+        except AttributeError:  # already detached
+            pass
 
     def source(self) -> ReplayEvidenceSource:
         """The captured stream as a replayable source."""

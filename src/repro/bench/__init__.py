@@ -1,0 +1,43 @@
+"""``repro.bench``: the perf-regression harness of the streaming service.
+
+``BENCH_service.json`` is the repo's machine-readable perf trajectory: a
+versioned document describing how fast :class:`~repro.api.service.Zero07Service`
+and :class:`~repro.api.sharded.ShardedService` ingest a fabric-scale
+synthetic evidence workload (:mod:`repro.loadgen`), how quickly mid-epoch
+``report()`` queries answer, what checkpoint save/restore costs, and the
+process's peak RSS.  Every future speed claim is testable against it.
+
+* :class:`BenchConfig` / :func:`run_service_bench` — drive the matrix of
+  (engine, shard count) service configurations over one generated workload
+  and produce the report document.
+* :func:`validate_bench_report` / :class:`BenchSchemaError` — the schema
+  gate: versioned keys, monotonic epoch counters, positive throughput.
+  CI validates every produced document, so the artifact format cannot
+  silently drift.
+* :func:`write_bench_report` / :func:`format_bench_table` — persistence and
+  the human-readable summary.
+
+The exported names are snapshot-tested (``tests/test_api_surface.py``).
+"""
+
+from repro.bench.runner import (
+    BenchConfig,
+    format_bench_table,
+    run_service_bench,
+    write_bench_report,
+)
+from repro.bench.schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchSchemaError,
+    validate_bench_report,
+)
+
+__all__ = [
+    "BenchConfig",
+    "run_service_bench",
+    "write_bench_report",
+    "format_bench_table",
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "validate_bench_report",
+]

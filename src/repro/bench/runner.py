@@ -1,0 +1,385 @@
+"""The service benchmark runner.
+
+Drives :class:`~repro.api.service.Zero07Service` and
+:class:`~repro.api.sharded.ShardedService` with a synthetic evidence workload
+(:mod:`repro.loadgen`) and measures, per (engine, shard-count) configuration:
+
+* **ingest throughput** of the vectorized ``ingest_batch(owned=True)`` path,
+  with a per-event ``ingest()`` baseline on a capped prefix of the same
+  workload (so ``speedup_vs_per_event`` is an apples-to-apples before/after
+  of the batched fast path);
+* **mid-epoch report latency** — ``report(epoch)`` issued halfway through
+  each epoch's evidence, the paper's "which link is bad *right now*" query;
+* **checkpoint cost** — save/serialize/restore wall time, JSON payload size,
+  and a bit-identity check of the restored service's mid-epoch report;
+* **finalization cost** (epoch ticks) and the process's **peak RSS**.
+
+Timed sections never include workload generation.  Generation is
+deterministic per seed, so every configuration replays the identical stream;
+``peak_rss_kb`` is the OS's monotonic high-water mark and therefore
+attributes only the *maximum* across a document's runs, not each run alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import resource
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.events import EpochTick, PathEvidence
+from repro.api.service import Zero07Service
+from repro.api.sharded import ShardedService
+from repro.bench.schema import BENCH_SCHEMA_VERSION, validate_bench_report
+from repro.loadgen import EvidenceLoadGenerator, WorkloadProfile, fabric_parameters
+from repro.netsim.script import ScenarioScript
+from repro.testing import report_signature
+from repro.topology.clos import ClosParameters
+from repro.topology.elements import LinkLevel
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Configuration of one ``repro bench`` invocation."""
+
+    fabric: Union[str, ClosParameters] = "medium"
+    #: total evidence events across all epochs (ticks not counted).
+    events: int = 1_000_000
+    epochs: int = 8
+    seed: int = 0
+    profile: WorkloadProfile = field(default_factory=WorkloadProfile.skewed)
+    engines: Tuple[str, ...] = ("arrays", "dicts")
+    shard_counts: Tuple[int, ...] = (1, 2, 4)
+    #: cap on the per-event baseline measurement (the full workload would
+    #: mostly measure the slow path we are replacing); ``None`` picks
+    #: ``min(events, 250_000)``.
+    baseline_events: Optional[int] = None
+    #: mid-epoch ``report()`` queries issued per epoch.
+    report_queries: int = 2
+    #: measure checkpoint save/restore on the final epoch's half-ingested state.
+    checkpoint: bool = True
+    #: scripted failure timeline biasing the workload ("none"/"flap"/"burst").
+    timeline: str = "none"
+
+    def __post_init__(self) -> None:
+        # Fail configuration errors *now*, not after minutes of benchmarking
+        # when schema validation would reject the finished document.
+        if self.events < 1:
+            raise ValueError("events must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        unknown = set(self.engines) - {"arrays", "dicts"}
+        if not self.engines or unknown:
+            raise ValueError(f"engines must be arrays/dicts, got {self.engines!r}")
+        if not self.shard_counts or any(c < 1 for c in self.shard_counts):
+            raise ValueError("shard_counts needs at least one count >= 1")
+        if len(set(self.shard_counts)) != len(self.shard_counts):
+            raise ValueError(f"duplicate shard counts: {self.shard_counts!r}")
+        if self.timeline not in ("none", "flap", "burst"):
+            raise ValueError(f"unknown timeline preset {self.timeline!r}")
+
+    @property
+    def events_per_epoch(self) -> int:
+        return max(1, self.events // max(1, self.epochs))
+
+    @property
+    def baseline_cap(self) -> int:
+        if self.baseline_events is not None:
+            return max(1, self.baseline_events)
+        return min(self.events, 250_000)
+
+    def make_script(self) -> Optional[ScenarioScript]:
+        """The loadgen timeline for the ``timeline`` preset."""
+        if self.timeline == "none":
+            return None
+        start = max(1, self.epochs // 4)
+        duration = max(1, self.epochs // 2)
+        if self.timeline == "flap":
+            return ScenarioScript().flap(
+                start=start, duration=duration, level=LinkLevel.LEVEL1
+            )
+        if self.timeline == "burst":
+            return ScenarioScript().burst(
+                start=start, duration=duration, level=LinkLevel.LEVEL2, num_links=3
+            )
+        raise ValueError(f"unknown timeline preset {self.timeline!r}")
+
+    def make_generator(self) -> EvidenceLoadGenerator:
+        """A fresh (deterministic) generator for this workload."""
+        return EvidenceLoadGenerator(
+            fabric=self.fabric,
+            profile=self.profile,
+            script=self.make_script(),
+            seed=self.seed,
+            events_per_epoch=self.events_per_epoch,
+        )
+
+
+def _peak_rss_kb() -> int:
+    """The process's peak RSS in KiB (Linux ``ru_maxrss`` unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _make_service(engine: str, num_shards: int, retain: int):
+    if num_shards == 1:
+        return Zero07Service(engine=engine, retain_reports=retain)
+    return ShardedService(num_shards=num_shards, engine=engine, retain_reports=retain)
+
+
+def _measure_per_event_baseline(config: BenchConfig, engine: str, num_shards: int):
+    """Per-event ``ingest()`` throughput on a capped prefix of the workload."""
+    cap = config.baseline_cap
+    generator = config.make_generator()
+    service = _make_service(engine, num_shards, config.epochs)
+    ingested = 0
+    seconds = 0.0
+    for epoch in range(config.epochs):
+        if ingested >= cap:
+            break
+        events = generator.epoch_events(epoch, tick=False)
+        if ingested + len(events) > cap:
+            events = events[: cap - ingested]
+        ingest = service.ingest
+        start = time.perf_counter()
+        for event in events:
+            ingest(event)
+        seconds += time.perf_counter() - start
+        ingested += len(events)
+        service.ingest(EpochTick(epoch))
+    return {
+        "events": ingested,
+        "seconds": seconds,
+        "events_per_sec": ingested / seconds if seconds > 0 else 0.0,
+    }
+
+
+def _measure_run(
+    config: BenchConfig,
+    engine: str,
+    num_shards: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """One full (engine, shards) benchmark run over the whole workload."""
+    say = progress or (lambda message: None)
+    generator = config.make_generator()
+    service = _make_service(engine, num_shards, config.epochs)
+
+    ingest_seconds = 0.0
+    ingest_events = 0
+    finalize_seconds = 0.0
+    latencies: List[float] = []
+    epochs_out: List[Dict[str, Any]] = []
+    checkpoint_out: Optional[Dict[str, Any]] = None
+
+    for epoch in range(config.epochs):
+        events = generator.epoch_events(epoch, tick=False)
+        paths = sum(1 for e in events if type(e) is PathEvidence)
+        half = len(events) // 2
+
+        start = time.perf_counter()
+        service.ingest_batch(events[:half], owned=True)
+        ingest_seconds += time.perf_counter() - start
+
+        for _ in range(max(0, config.report_queries)):
+            start = time.perf_counter()
+            service.report(epoch)
+            latencies.append(time.perf_counter() - start)
+
+        if (
+            config.checkpoint
+            and checkpoint_out is None
+            and epoch == config.epochs - 1
+        ):
+            checkpoint_out = _measure_checkpoint(service, num_shards, epoch)
+
+        start = time.perf_counter()
+        service.ingest_batch(events[half:], owned=True)
+        ingest_seconds += time.perf_counter() - start
+        ingest_events += len(events)
+
+        start = time.perf_counter()
+        service.ingest(EpochTick(epoch))
+        finalize_seconds += time.perf_counter() - start
+
+        epochs_out.append(
+            {
+                "epoch": epoch,
+                "events": len(events),
+                "paths": paths,
+                "updates": len(events) - paths,
+            }
+        )
+        say(
+            f"    epoch {epoch}: {len(events)} events "
+            f"({ingest_events / ingest_seconds:,.0f} ev/s cumulative)"
+        )
+
+    run: Dict[str, Any] = {
+        "service": "single" if num_shards == 1 else "sharded",
+        "engine": engine,
+        "num_shards": num_shards,
+        "ingest": {
+            "mode": "batch-owned",
+            "events": ingest_events,
+            "seconds": ingest_seconds,
+            "events_per_sec": ingest_events / ingest_seconds
+            if ingest_seconds > 0
+            else 0.0,
+        },
+        "per_event_baseline": None,
+        "speedup_vs_per_event": None,
+        "report_latency": {
+            "queries": len(latencies),
+            "mean_seconds": statistics.fmean(latencies) if latencies else 0.0,
+            "p50_seconds": statistics.median(latencies) if latencies else 0.0,
+            "max_seconds": max(latencies) if latencies else 0.0,
+        }
+        if latencies
+        else None,
+        "finalize": {"epochs": config.epochs, "seconds": finalize_seconds},
+        "checkpoint": checkpoint_out,
+        "epochs": epochs_out,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return run
+
+
+def _measure_checkpoint(service, num_shards: int, epoch: int) -> Dict[str, Any]:
+    """Checkpoint save/restore cost on the service's current (mid-epoch) state."""
+    start = time.perf_counter()
+    checkpoint = service.checkpoint()
+    text = checkpoint.to_json()
+    save_seconds = time.perf_counter() - start
+
+    restore_cls = Zero07Service if num_shards == 1 else ShardedService
+    from repro.api.checkpoint import Checkpoint
+
+    start = time.perf_counter()
+    restored = restore_cls.restore(Checkpoint.from_json(text))
+    restore_seconds = time.perf_counter() - start
+    identical = report_signature(restored.report(epoch)) == report_signature(
+        service.report(epoch)
+    )
+    return {
+        "save_seconds": save_seconds,
+        "restore_seconds": restore_seconds,
+        "json_bytes": len(text.encode("utf-8")),
+        "restore_bit_identical": bool(identical),
+    }
+
+
+def run_service_bench(
+    config: Optional[BenchConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the full benchmark matrix and return the schema-valid document."""
+    config = config or BenchConfig()
+    say = progress or (lambda message: None)
+    params = fabric_parameters(config.fabric)
+    generator = config.make_generator()
+    say(f"workload: {generator.describe()}")
+
+    runs: List[Dict[str, Any]] = []
+    for engine in config.engines:
+        for num_shards in config.shard_counts:
+            say(f"  run: engine={engine} shards={num_shards}")
+            run = _measure_run(config, engine, num_shards, progress)
+            say(
+                f"    per-event baseline (<= {config.baseline_cap} events, "
+                f"shards={num_shards})"
+            )
+            baseline = _measure_per_event_baseline(config, engine, num_shards)
+            run["per_event_baseline"] = baseline
+            if baseline["events_per_sec"] > 0:
+                run["speedup_vs_per_event"] = (
+                    run["ingest"]["events_per_sec"] / baseline["events_per_sec"]
+                )
+            runs.append(run)
+
+    document: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro bench",
+        "created_unix": time.time(),
+        "config": {
+            "fabric": config.fabric if isinstance(config.fabric, str) else "custom",
+            "params": dataclasses.asdict(params),
+            "events": config.events,
+            "epochs": config.epochs,
+            "events_per_epoch": config.events_per_epoch,
+            "seed": config.seed,
+            "profile": dataclasses.asdict(config.profile),
+            "engines": list(config.engines),
+            "shard_counts": list(config.shard_counts),
+            "baseline_events": config.baseline_cap,
+            "timeline": config.timeline,
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "runs": runs,
+    }
+    return validate_bench_report(document)
+
+
+def write_bench_report(
+    document: Dict[str, Any],
+    path: Union[str, Path],
+    artifacts_dir: Optional[Union[str, Path]] = None,
+) -> None:
+    """Validate and write the document (and optional per-run artifacts)."""
+    validate_bench_report(document)
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    if artifacts_dir is not None:
+        directory = Path(artifacts_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for run in document["runs"]:
+            name = f"bench_run_{run['engine']}_shards{run['num_shards']}.json"
+            payload = {
+                "schema_version": document["schema_version"],
+                "config": document["config"],
+                "environment": document["environment"],
+                "run": run,
+            }
+            (directory / name).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+
+
+def format_bench_table(document: Dict[str, Any]) -> str:
+    """A human-readable summary table of a bench document."""
+    lines = [
+        f"fabric={document['config']['fabric']} "
+        f"events={document['config']['events']:,} "
+        f"epochs={document['config']['epochs']} "
+        f"profile={document['config']['profile']['popularity']}",
+        f"{'engine':>7} {'shards':>6} {'batch ev/s':>12} {'per-ev ev/s':>12} "
+        f"{'speedup':>8} {'report p50':>11} {'ckpt save':>10} {'peak RSS':>9}",
+    ]
+    for run in document["runs"]:
+        latency = run.get("report_latency") or {}
+        checkpoint = run.get("checkpoint") or {}
+        baseline = run.get("per_event_baseline") or {}
+        speedup = run.get("speedup_vs_per_event")
+        lines.append(
+            f"{run['engine']:>7} {run['num_shards']:>6} "
+            f"{run['ingest']['events_per_sec']:>12,.0f} "
+            f"{baseline.get('events_per_sec', 0.0):>12,.0f} "
+            f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
+            f"{latency.get('p50_seconds', 0.0) * 1000:>10.1f}ms "
+            f"{checkpoint.get('save_seconds', 0.0):>9.2f}s "
+            f"{run['peak_rss_kb'] / 1024:>8.0f}M"
+        )
+    return "\n".join(lines)

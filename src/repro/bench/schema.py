@@ -1,0 +1,240 @@
+"""Schema of the versioned ``BENCH_service.json`` perf artifact.
+
+The validator is deliberately strict about *shape* (versioned keys, monotonic
+epoch counters, positive throughput, known enum values) and deliberately
+silent about *absolute speed* — machines differ; CI must fail on a malformed
+artifact, never on a slow runner.  Bump :data:`BENCH_SCHEMA_VERSION` on any
+incompatible layout change and teach the validator the new shape in the same
+commit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: document schema version; bump on incompatible layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: exact top-level key set of a version-1 document.
+TOP_LEVEL_KEYS = {
+    "schema_version",
+    "generated_by",
+    "created_unix",
+    "config",
+    "environment",
+    "runs",
+}
+
+#: exact key set of one run entry.
+RUN_KEYS = {
+    "service",
+    "engine",
+    "num_shards",
+    "ingest",
+    "per_event_baseline",
+    "speedup_vs_per_event",
+    "report_latency",
+    "finalize",
+    "checkpoint",
+    "epochs",
+    "peak_rss_kb",
+}
+
+CONFIG_KEYS = {
+    "fabric",
+    "params",
+    "events",
+    "epochs",
+    "events_per_epoch",
+    "seed",
+    "profile",
+    "engines",
+    "shard_counts",
+    "baseline_events",
+    "timeline",
+}
+
+
+class BenchSchemaError(ValueError):
+    """The bench document violates the schema; ``errors`` lists every reason."""
+
+    def __init__(self, errors: List[str]) -> None:
+        self.errors = list(errors)
+        super().__init__(
+            "invalid BENCH_service.json document:\n  - " + "\n  - ".join(self.errors)
+        )
+
+
+def _require_number(
+    errors: List[str], value: Any, where: str, positive: bool = False
+) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        errors.append(f"{where} must be a number, got {value!r}")
+    elif positive and not value > 0:
+        errors.append(f"{where} must be > 0, got {value!r}")
+
+
+def _validate_ingest(errors: List[str], data: Any, where: str) -> None:
+    if not isinstance(data, dict):
+        errors.append(f"{where} must be an object")
+        return
+    for key in ("events", "seconds", "events_per_sec"):
+        if key not in data:
+            errors.append(f"{where} is missing {key!r}")
+        else:
+            _require_number(errors, data[key], f"{where}.{key}", positive=True)
+
+
+def _validate_run(errors: List[str], run: Any, where: str) -> None:
+    if not isinstance(run, dict):
+        errors.append(f"{where} must be an object")
+        return
+    missing = RUN_KEYS - set(run)
+    extra = set(run) - RUN_KEYS
+    if missing:
+        errors.append(f"{where} is missing keys {sorted(missing)}")
+    if extra:
+        errors.append(f"{where} has unknown keys {sorted(extra)}")
+    if run.get("service") not in ("single", "sharded"):
+        errors.append(f"{where}.service must be 'single' or 'sharded'")
+    if run.get("engine") not in ("arrays", "dicts"):
+        errors.append(f"{where}.engine must be 'arrays' or 'dicts'")
+    shards = run.get("num_shards")
+    if not isinstance(shards, int) or shards < 1:
+        errors.append(f"{where}.num_shards must be an int >= 1")
+    if run.get("service") == "single" and shards != 1:
+        errors.append(f"{where}: single service must have num_shards == 1")
+
+    if "ingest" in run:
+        _validate_ingest(errors, run["ingest"], f"{where}.ingest")
+        if isinstance(run["ingest"], dict) and run["ingest"].get("mode") not in (
+            "batch-owned",
+            "batch",
+            "per-event",
+        ):
+            errors.append(f"{where}.ingest.mode is not a known ingest mode")
+    baseline = run.get("per_event_baseline")
+    if baseline is not None:
+        _validate_ingest(errors, baseline, f"{where}.per_event_baseline")
+        speedup = run.get("speedup_vs_per_event")
+        _require_number(errors, speedup, f"{where}.speedup_vs_per_event", positive=True)
+
+    latency = run.get("report_latency")
+    if latency is not None:
+        if not isinstance(latency, dict):
+            errors.append(f"{where}.report_latency must be an object or null")
+        else:
+            for key in ("queries", "mean_seconds", "p50_seconds", "max_seconds"):
+                if key not in latency:
+                    errors.append(f"{where}.report_latency is missing {key!r}")
+                else:
+                    _require_number(
+                        errors, latency[key], f"{where}.report_latency.{key}"
+                    )
+
+    finalize = run.get("finalize")
+    if not isinstance(finalize, dict) or not {"epochs", "seconds"} <= set(
+        finalize or {}
+    ):
+        errors.append(f"{where}.finalize must be an object with epochs/seconds")
+
+    checkpoint = run.get("checkpoint")
+    if checkpoint is not None:
+        if not isinstance(checkpoint, dict):
+            errors.append(f"{where}.checkpoint must be an object or null")
+        else:
+            for key in ("save_seconds", "restore_seconds", "json_bytes"):
+                if key not in checkpoint:
+                    errors.append(f"{where}.checkpoint is missing {key!r}")
+                else:
+                    _require_number(
+                        errors, checkpoint[key], f"{where}.checkpoint.{key}"
+                    )
+            if checkpoint.get("restore_bit_identical") is not True:
+                errors.append(
+                    f"{where}.checkpoint.restore_bit_identical must be true — "
+                    "a restore that changes reports is a correctness bug, not "
+                    "a perf number"
+                )
+
+    epochs = run.get("epochs")
+    if not isinstance(epochs, list) or not epochs:
+        errors.append(f"{where}.epochs must be a non-empty list")
+    else:
+        previous = None
+        for i, entry in enumerate(epochs):
+            here = f"{where}.epochs[{i}]"
+            if not isinstance(entry, dict) or "epoch" not in entry:
+                errors.append(f"{here} must be an object with an 'epoch' key")
+                continue
+            epoch = entry["epoch"]
+            if not isinstance(epoch, int):
+                errors.append(f"{here}.epoch must be an int")
+                continue
+            if previous is not None and epoch <= previous:
+                errors.append(
+                    f"{here}.epoch={epoch} is not strictly increasing "
+                    f"(previous {previous})"
+                )
+            previous = epoch
+            if "events" in entry:
+                _require_number(errors, entry["events"], f"{here}.events")
+
+    _require_number(errors, run.get("peak_rss_kb"), f"{where}.peak_rss_kb")
+
+
+def validate_bench_report(document: Any) -> Dict[str, Any]:
+    """Validate a bench document; returns it unchanged or raises.
+
+    Raises
+    ------
+    BenchSchemaError
+        With *every* violation listed, so a drifted artifact is diagnosed in
+        one round trip.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        raise BenchSchemaError(["document must be a JSON object"])
+    version = document.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {version!r} != supported {BENCH_SCHEMA_VERSION}"
+        )
+    missing = TOP_LEVEL_KEYS - set(document)
+    extra = set(document) - TOP_LEVEL_KEYS
+    if missing:
+        errors.append(f"document is missing keys {sorted(missing)}")
+    if extra:
+        errors.append(f"document has unknown keys {sorted(extra)}")
+    if "created_unix" in document:
+        _require_number(errors, document["created_unix"], "created_unix", positive=True)
+    if not isinstance(document.get("generated_by"), str):
+        errors.append("generated_by must be a string")
+
+    config = document.get("config")
+    if not isinstance(config, dict):
+        errors.append("config must be an object")
+    else:
+        missing_config = CONFIG_KEYS - set(config)
+        if missing_config:
+            errors.append(f"config is missing keys {sorted(missing_config)}")
+        for key in ("events", "epochs", "events_per_epoch"):
+            if key in config:
+                _require_number(errors, config[key], f"config.{key}", positive=True)
+
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty list")
+    else:
+        seen = set()
+        for i, run in enumerate(runs):
+            _validate_run(errors, run, f"runs[{i}]")
+            if isinstance(run, dict):
+                key = (run.get("service"), run.get("engine"), run.get("num_shards"))
+                if key in seen:
+                    errors.append(f"runs[{i}] duplicates configuration {key}")
+                seen.add(key)
+
+    if errors:
+        raise BenchSchemaError(errors)
+    return document

@@ -27,6 +27,8 @@ the reference oracle in the equivalence tests.
 
 from __future__ import annotations
 
+import operator
+from itertools import chain
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,10 +48,31 @@ class ItemIndex:
     uses for the deterministic "smallest item wins" tie-break.
     """
 
+    #: identity-memo bound; when exceeded the memo is dropped wholesale
+    #: (epoch-cache semantics) so sources that allocate fresh link objects
+    #: per path cannot grow it without limit.
+    MAX_ID_MEMO = 65_536
+
     def __init__(self, items: Iterable = ()) -> None:
         self._items: List = []
         self._ids: Dict[object, int] = {}
         self._ranks: Optional[np.ndarray] = None
+        #: id(object) -> id, plus strong refs keeping those objects alive so
+        #: a recycled id() can never alias a dead memo entry.  The sorted
+        #: key/value arrays are the memo's vectorized view (searchsorted
+        #: lookup over fresh object batches beats per-item boxed-int dict
+        #: lookups); rebuilt whenever the dict grows.
+        self._id_memo: Dict[int, int] = {}
+        self._memo_refs: List = []
+        self._memo_keys: Optional[np.ndarray] = None
+        self._memo_vals: Optional[np.ndarray] = None
+        #: dense pointer table: cell ``(id - base) >> 4`` -> interned id.
+        #: Live CPython objects are >= 16 bytes, so object starts are unique
+        #: at 16-byte granularity and the mapping is collision-free while the
+        #: memo's strong refs keep its objects alive.  ``None`` when the
+        #: memoized ids span too wide a heap range (searchsorted fallback).
+        self._memo_table: Optional[np.ndarray] = None
+        self._memo_base = 0
         for item in items:
             self.intern(item)
 
@@ -67,6 +90,84 @@ class ItemIndex:
     def id_of(self, item) -> int:
         """The id of an already-interned item (raises ``KeyError`` if unknown)."""
         return self._ids[item]
+
+    def fast_ids(self, items: Sequence) -> List[int]:
+        """Intern many items, resolving repeat *objects* at C speed.
+
+        Items are hashed by (often slow, Python-level) ``__hash__`` only on
+        the first sighting of each distinct object; afterwards an identity
+        memo answers through a builtin int lookup, so callers that reuse one
+        object per logical item (the evidence load generator shares one
+        ``DirectedLink`` per fabric direction) pay no Python-level work at
+        all.  Equivalent to ``[self.intern(x) for x in items]``.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        if not items:
+            return []
+        resolved = self.lookup_ids(map(id, items), len(items))
+        if resolved is not None:
+            return resolved
+        memo = self._id_memo
+        if len(memo) > self.MAX_ID_MEMO:
+            memo.clear()
+            self._memo_refs.clear()
+        intern = self.intern
+        refs_append = self._memo_refs.append
+        memo_get = memo.get
+        ids = []
+        ids_append = ids.append
+        for item in items:
+            key = id(item)
+            idx = memo_get(key)
+            if idx is None:
+                idx = intern(item)
+                memo[key] = idx
+                refs_append(item)
+            ids_append(idx)
+        memo_keys = np.fromiter(memo.keys(), dtype=np.int64, count=len(memo))
+        order = np.argsort(memo_keys)
+        self._memo_keys = memo_keys[order]
+        self._memo_vals = np.fromiter(memo.values(), dtype=np.int64, count=len(memo))[
+            order
+        ]
+        base = int(self._memo_keys[0])
+        span = ((int(self._memo_keys[-1]) - base) >> 4) + 1
+        if span <= max(1 << 21, 64 * len(memo)):
+            table = np.full(span, -1, dtype=np.int64)
+            table[(self._memo_keys - base) >> 4] = self._memo_vals
+            self._memo_table = table
+            self._memo_base = base
+        else:
+            self._memo_table = None
+        return ids
+
+    def lookup_ids(self, object_ids, count: int) -> Optional[List[int]]:
+        """Vectorized memo lookup over an iterable of ``id()`` values.
+
+        One ``fromiter`` + one ``searchsorted`` — no per-item boxed-int dict
+        lookups.  Returns ``None`` when any object is not memoized yet (the
+        caller falls back to :meth:`fast_ids` on the materialized items).
+        """
+        if count == 0:
+            return []
+        keys = self._memo_keys
+        if keys is None or not len(keys):
+            return None
+        obj_ids = np.fromiter(object_ids, dtype=np.int64, count=count)
+        table = self._memo_table
+        if table is not None:
+            cells = (obj_ids - self._memo_base) >> 4
+            if bool((cells >= 0).all()) and bool((cells < len(table)).all()):
+                vals = table[cells]
+                if int(vals.min()) >= 0:
+                    return vals.tolist()
+            return None
+        pos = keys.searchsorted(obj_ids)
+        pos[pos == len(keys)] = 0
+        if not bool((keys[pos] == obj_ids).all()):
+            return None
+        return self._memo_vals[pos].tolist()
 
     def get(self, item) -> Optional[int]:
         """The id of ``item`` or ``None`` when it was never interned."""
@@ -200,6 +301,82 @@ class ArrayVoteTally:
         """Record votes for many discovered paths."""
         for path in paths:
             self.add_discovered_path(path)
+
+    def add_flows(self, paths: Sequence[DiscoveredPath]) -> None:
+        """Record the votes of many flows in one pass (the streaming bulk path).
+
+        State-identical to calling :meth:`add_flow` per path in list order —
+        the CSR rows, the first-vote link order (which fixes the vote fold
+        order, and therefore every float) and the flow bookkeeping all come
+        out the same — but the per-call overhead (contribution objects, cache
+        invalidation, interner dispatch) is paid once per batch.  Workloads
+        that reuse link objects (the load generator shares one object per
+        fabric link) hit the interner's dict once per hop.
+        """
+        if not isinstance(paths, list):
+            paths = list(paths)
+        if not paths:
+            return
+        cols = self._cols
+        row = len(self._flow_ids)
+        col_start = len(cols)
+
+        # Column-wise extraction: every per-path field is pulled through
+        # C-level iterators (map/attrgetter/chain), no Python-level loop.
+        links_list = [path.links for path in paths]
+        lengths = np.fromiter(map(len, links_list), dtype=np.int64, count=len(paths))
+        if lengths.min() == 0:
+            raise ValueError("a voting flow must have at least one known link")
+        if self._policy == "unit":
+            self._weights.extend([1.0] * len(paths))
+        else:
+            self._weights.extend((1.0 / lengths).tolist())
+        self._indptr.extend((np.cumsum(lengths) + col_start).tolist())
+
+        # One flattened hop pass through the index's identity memo: repeat
+        # link objects (sources share one object per fabric direction) are
+        # resolved by a vectorized searchsorted lookup streaming straight off
+        # ``chain`` — no intermediate hop list, no per-hop dict lookups.
+        total_hops = int(lengths.sum())
+        lids = self._index.lookup_ids(
+            map(id, chain.from_iterable(links_list)), total_hops
+        )
+        if lids is None:  # first sighting of some link object: full intern
+            lids = self._index.fast_ids(list(chain.from_iterable(links_list)))
+        cols.extend(lids)
+
+        flow_id_list = list(map(operator.attrgetter("flow_id"), paths))
+        self._row_by_flow.update(zip(flow_id_list, range(row, row + len(paths))))
+        self._flow_ids.extend(flow_id_list)
+        self._retransmissions.extend(
+            map(operator.attrgetter("retransmissions"), paths)
+        )
+        voted = self._voted
+        if len(voted) != len(self._index):
+            # only scan for first votes while unvoted interned links remain;
+            # once every known link has voted (the steady state of a
+            # long-running stream) the scan can never add anything.
+            first_seen_append = self._first_seen.append
+            for lid in dict.fromkeys(cols[col_start:]):
+                if lid not in voted:
+                    voted.add(lid)
+                    first_seen_append(lid)
+        self._invalidate()
+
+    def row_of_flow(self, flow_id: int) -> Optional[int]:
+        """Row index of ``flow_id``'s latest contribution (``None`` if unknown)."""
+        return self._row_by_flow.get(flow_id)
+
+    def bump_rows(self, rows: Sequence[int], extras: Sequence[int]) -> None:
+        """Bulk :meth:`bump_retransmissions` by row index.
+
+        One cache invalidation for the whole batch instead of one per flow;
+        row indices come from :meth:`row_of_flow`.
+        """
+        retransmissions = self._retransmissions
+        for row, extra in zip(rows, extras):
+            retransmissions[row] += extra
+        self._contributions_cache = None
 
     def bump_retransmissions(self, flow_id: int, extra: int) -> None:
         """Add ``extra`` retransmissions to ``flow_id``'s latest row.

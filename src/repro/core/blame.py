@@ -108,10 +108,14 @@ def find_problematic_links(
     votes: Dict[DirectedLink, float] = tally.as_dict()
     remaining: List[VoteContribution] = list(tally.contributions)
     blamed: Set[DirectedLink] = set()
+    # one O(total hops) pass for every link's support — per-link support_of()
+    # scans would make eligibility O(links x flows), the dominant cost at
+    # production scale.
+    support = tally.support_map()
     eligible = {
         link
         for link in votes
-        if tally.support_of(link) >= config.min_flow_support
+        if support.get(link, 0) >= config.min_flow_support
     }
 
     while len(result.detected_links) < config.max_links:

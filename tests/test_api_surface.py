@@ -56,7 +56,9 @@ EXPECTED_SIGNATURES = {
         "link_index: 'Optional[LinkIndex]' = None) -> 'None'"
     ),
     "Zero07Service.ingest": "(self, event: 'Evidence') -> 'None'",
-    "Zero07Service.ingest_batch": "(self, events: 'Iterable[Evidence]') -> 'None'",
+    "Zero07Service.ingest_batch": (
+        "(self, events: 'Iterable[Evidence]', owned: 'bool' = False) -> 'None'"
+    ),
     "Zero07Service.report": "(self, epoch: 'Optional[int]' = None) -> 'EpochReport'",
     "Zero07Service.advance_epoch": "(self, epoch: 'int') -> 'EpochReport'",
     "Zero07Service.checkpoint": "(self) -> 'Checkpoint'",
@@ -86,6 +88,49 @@ EXPECTED_SIGNATURES = {
 }
 
 
+#: pinned exports of the loadgen/bench packages (the perf-harness surface).
+EXPECTED_LOADGEN_EXPORTS = {
+    "EvidenceLoadGenerator",
+    "WorkloadProfile",
+    "FABRIC_PRESETS",
+    "fabric_parameters",
+}
+
+EXPECTED_BENCH_EXPORTS = {
+    "BenchConfig",
+    "run_service_bench",
+    "write_bench_report",
+    "format_bench_table",
+    "BENCH_SCHEMA_VERSION",
+    "BenchSchemaError",
+    "validate_bench_report",
+}
+
+#: pinned signatures of the loadgen/bench entry points.
+EXPECTED_HARNESS_SIGNATURES = {
+    "repro.loadgen.EvidenceLoadGenerator.__init__": (
+        "(self, fabric: 'Union[str, ClosParameters]' = 'medium', "
+        "profile: 'Optional[WorkloadProfile]' = None, "
+        "script: 'Optional[ScenarioScript]' = None, "
+        "seed: 'int' = 0, events_per_epoch: 'int' = 100000) -> 'None'"
+    ),
+    "repro.loadgen.EvidenceLoadGenerator.epoch_events": (
+        "(self, epoch: 'int', tick: 'bool' = True) -> 'List[Evidence]'"
+    ),
+    "repro.loadgen.EvidenceLoadGenerator.stream": (
+        "(self, epochs: 'int', tick: 'bool' = True) -> 'Iterator[Evidence]'"
+    ),
+    "repro.loadgen.fabric_parameters": (
+        "(fabric: 'Union[str, ClosParameters]') -> 'ClosParameters'"
+    ),
+    "repro.bench.run_service_bench": (
+        "(config: 'Optional[BenchConfig]' = None, "
+        "progress: 'Optional[Callable[[str], None]]' = None) -> 'Dict[str, Any]'"
+    ),
+    "repro.bench.validate_bench_report": "(document: 'Any') -> 'Dict[str, Any]'",
+}
+
+
 def _resolve(dotted: str):
     obj = api
     for part in dotted.split("."):
@@ -108,6 +153,38 @@ def test_core_entry_point_signatures_are_pinned():
     assert not drifted, (
         "public API signatures drifted — if intentional, update the snapshot "
         f"in the same commit: {drifted}"
+    )
+
+
+def test_loadgen_and_bench_exports_are_exactly_the_snapshot():
+    import repro.bench as bench
+    import repro.loadgen as loadgen
+
+    assert set(loadgen.__all__) == EXPECTED_LOADGEN_EXPORTS
+    assert set(bench.__all__) == EXPECTED_BENCH_EXPORTS
+    for module, names in ((loadgen, EXPECTED_LOADGEN_EXPORTS),
+                          (bench, EXPECTED_BENCH_EXPORTS)):
+        for name in names:
+            assert hasattr(module, name), f"{module.__name__}.{name} is missing"
+
+
+def test_loadgen_and_bench_signatures_are_pinned():
+    import importlib
+
+    drifted = {}
+    for dotted, expected in EXPECTED_HARNESS_SIGNATURES.items():
+        module_name, _, remainder = dotted.partition(".")
+        parts = remainder.split(".")
+        module = importlib.import_module(f"{module_name}.{parts[0]}")
+        obj = module
+        for part in parts[1:]:
+            obj = getattr(obj, part)
+        actual = str(inspect.signature(obj))
+        if actual != expected:
+            drifted[dotted] = actual
+    assert not drifted, (
+        "loadgen/bench API signatures drifted — if intentional, update the "
+        f"snapshot in the same commit: {drifted}"
     )
 
 

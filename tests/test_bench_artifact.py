@@ -1,0 +1,80 @@
+"""The committed ``BENCH_service.json`` is the repo's perf contract.
+
+``repro bench --fabric medium --events 1000000`` produced this artifact; it
+must stay schema-valid and keep meeting the acceptance bars — most notably
+the >= 5x speedup of the vectorized ``ingest_batch`` path over per-event
+ingest on the arrays engine.  Enforcing the bar on the *recorded* document
+keeps CI deterministic (no wall-clock assertions on noisy runners): whoever
+regenerates the artifact regenerates the evidence, and a regeneration that
+no longer meets the bar fails here.
+
+Live (machine-dependent) speedup floors are asserted separately in
+``benchmarks/bench_service_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BENCH_SCHEMA_VERSION, validate_bench_report
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+@pytest.fixture(scope="module")
+def document():
+    assert ARTIFACT.exists(), (
+        "BENCH_service.json is missing — regenerate it with "
+        "`repro-007 bench --fabric medium --events 1000000`"
+    )
+    return validate_bench_report(json.loads(ARTIFACT.read_text()))
+
+
+def run_for(document, engine, num_shards):
+    for run in document["runs"]:
+        if run["engine"] == engine and run["num_shards"] == num_shards:
+            return run
+    raise AssertionError(f"no recorded run for engine={engine} shards={num_shards}")
+
+
+def test_artifact_is_schema_valid_and_current_version(document):
+    assert document["schema_version"] == BENCH_SCHEMA_VERSION
+
+
+def test_artifact_records_the_acceptance_workload(document):
+    config = document["config"]
+    assert config["fabric"] == "medium"
+    assert config["events"] >= 1_000_000
+    assert set(config["engines"]) == {"arrays", "dicts"}
+    assert set(config["shard_counts"]) == {1, 2, 4}
+
+
+def test_vectorized_ingest_is_at_least_5x_on_the_acceptance_workload(document):
+    """The tentpole bar: >= 5x over per-event ingest, arrays engine, 1M events."""
+    run = run_for(document, "arrays", 1)
+    assert run["speedup_vs_per_event"] >= 5.0, (
+        f"recorded arrays speedup {run['speedup_vs_per_event']:.2f}x < 5x — "
+        "the vectorized ingest path regressed; fix it (or explain the "
+        "regression in the artifact's commit) before regenerating"
+    )
+    assert run["ingest"]["events_per_sec"] >= 300_000
+
+
+def test_every_recorded_configuration_beats_per_event_ingest(document):
+    for engine in ("arrays", "dicts"):
+        for shards in (1, 2, 4):
+            run = run_for(document, engine, shards)
+            assert run["speedup_vs_per_event"] > 1.0, (engine, shards)
+            assert run["checkpoint"]["restore_bit_identical"] is True
+
+
+def test_recorded_epoch_counters_cover_the_whole_workload(document):
+    config = document["config"]
+    for run in document["runs"]:
+        assert len(run["epochs"]) == config["epochs"]
+        assert sum(entry["events"] for entry in run["epochs"]) == (
+            config["events_per_epoch"] * config["epochs"]
+        )

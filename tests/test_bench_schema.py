@@ -1,0 +1,172 @@
+"""Schema/golden tests for the ``BENCH_service.json`` perf artifact.
+
+The document format is the repo's perf trajectory; it must not drift
+silently.  A tiny in-process bench run must produce a schema-valid document
+with exactly the pinned key sets, strictly increasing epoch counters and
+positive throughput — and the validator must reject every class of
+corruption CI is meant to catch.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    BenchSchemaError,
+    format_bench_table,
+    run_service_bench,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.loadgen import WorkloadProfile
+
+#: the version-1 golden key sets; changing them is a schema bump.
+GOLDEN_TOP_KEYS = {
+    "schema_version",
+    "generated_by",
+    "created_unix",
+    "config",
+    "environment",
+    "runs",
+}
+GOLDEN_RUN_KEYS = {
+    "service",
+    "engine",
+    "num_shards",
+    "ingest",
+    "per_event_baseline",
+    "speedup_vs_per_event",
+    "report_latency",
+    "finalize",
+    "checkpoint",
+    "epochs",
+    "peak_rss_kb",
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_document():
+    config = BenchConfig(
+        fabric="tiny",
+        events=2_000,
+        epochs=2,
+        seed=3,
+        profile=WorkloadProfile.uniform(),
+        engines=("arrays",),
+        shard_counts=(1, 2),
+        baseline_events=500,
+        report_queries=1,
+    )
+    return run_service_bench(config)
+
+
+class TestProducedDocument:
+    def test_document_is_schema_valid_and_json_round_trips(self, tiny_document):
+        validate_bench_report(tiny_document)
+        round_tripped = json.loads(json.dumps(tiny_document))
+        validate_bench_report(round_tripped)
+
+    def test_golden_key_sets(self, tiny_document):
+        assert set(tiny_document) == GOLDEN_TOP_KEYS
+        assert tiny_document["schema_version"] == BENCH_SCHEMA_VERSION
+        for run in tiny_document["runs"]:
+            assert set(run) == GOLDEN_RUN_KEYS
+
+    def test_epoch_counters_are_monotonic_and_throughput_positive(
+        self, tiny_document
+    ):
+        for run in tiny_document["runs"]:
+            epochs = [entry["epoch"] for entry in run["epochs"]]
+            assert epochs == sorted(set(epochs))
+            assert run["ingest"]["events_per_sec"] > 0
+            assert run["per_event_baseline"]["events_per_sec"] > 0
+            assert run["speedup_vs_per_event"] > 0
+            assert run["checkpoint"]["restore_bit_identical"] is True
+
+    def test_matrix_covers_requested_configurations(self, tiny_document):
+        configs = {
+            (run["engine"], run["num_shards"]) for run in tiny_document["runs"]
+        }
+        assert configs == {("arrays", 1), ("arrays", 2)}
+        for run in tiny_document["runs"]:
+            expected = "single" if run["num_shards"] == 1 else "sharded"
+            assert run["service"] == expected
+
+    def test_write_and_artifacts(self, tiny_document, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        write_bench_report(tiny_document, out, artifacts_dir=tmp_path / "runs")
+        validate_bench_report(json.loads(out.read_text()))
+        artifacts = sorted(p.name for p in (tmp_path / "runs").iterdir())
+        assert artifacts == [
+            "bench_run_arrays_shards1.json",
+            "bench_run_arrays_shards2.json",
+        ]
+
+    def test_format_table_mentions_every_run(self, tiny_document):
+        table = format_bench_table(tiny_document)
+        assert table.count("arrays") == len(tiny_document["runs"])
+
+
+class TestValidatorRejectsDrift:
+    def corrupt(self, document, mutate):
+        broken = copy.deepcopy(document)
+        mutate(broken)
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report(broken)
+
+    def test_rejects_wrong_version(self, tiny_document):
+        self.corrupt(tiny_document, lambda d: d.update(schema_version=99))
+
+    def test_rejects_missing_top_level_key(self, tiny_document):
+        self.corrupt(tiny_document, lambda d: d.pop("config"))
+
+    def test_rejects_unknown_top_level_key(self, tiny_document):
+        self.corrupt(tiny_document, lambda d: d.update(vibes="good"))
+
+    def test_rejects_empty_runs(self, tiny_document):
+        self.corrupt(tiny_document, lambda d: d.update(runs=[]))
+
+    def test_rejects_non_monotonic_epochs(self, tiny_document):
+        def mutate(document):
+            document["runs"][0]["epochs"][0]["epoch"] = 5
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_zero_throughput(self, tiny_document):
+        def mutate(document):
+            document["runs"][0]["ingest"]["events_per_sec"] = 0.0
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_unknown_engine_and_run_keys(self, tiny_document):
+        self.corrupt(
+            tiny_document, lambda d: d["runs"][0].update(engine="quantum")
+        )
+        self.corrupt(
+            tiny_document, lambda d: d["runs"][0].update(warp_factor=9)
+        )
+
+    def test_rejects_non_identical_restore(self, tiny_document):
+        def mutate(document):
+            document["runs"][0]["checkpoint"]["restore_bit_identical"] = False
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_duplicate_run_configuration(self, tiny_document):
+        def mutate(document):
+            document["runs"].append(copy.deepcopy(document["runs"][0]))
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_error_lists_every_violation(self, tiny_document):
+        broken = copy.deepcopy(tiny_document)
+        broken["schema_version"] = 99
+        broken["runs"][0]["ingest"]["events_per_sec"] = -1
+        with pytest.raises(BenchSchemaError) as excinfo:
+            validate_bench_report(broken)
+        assert len(excinfo.value.errors) >= 2

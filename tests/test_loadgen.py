@@ -1,0 +1,215 @@
+"""Tests for the synthetic evidence load generator (``repro.loadgen``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EpochTick, PathEvidence, RetransmissionEvidence, Zero07Service
+from repro.loadgen import (
+    FABRIC_PRESETS,
+    EvidenceLoadGenerator,
+    WorkloadProfile,
+    fabric_parameters,
+)
+from repro.netsim.script import ScenarioScript
+from repro.topology.clos import ClosParameters, ClosTopology
+from repro.topology.elements import LinkLevel, SwitchTier
+
+
+def make_generator(**overrides):
+    defaults = dict(
+        fabric="tiny",
+        profile=WorkloadProfile.skewed(hot_tor_fraction=0.3),
+        seed=7,
+        events_per_epoch=400,
+    )
+    defaults.update(overrides)
+    return EvidenceLoadGenerator(**defaults)
+
+
+class TestProfilesAndPresets:
+    def test_fabric_parameters_resolves_presets_and_passthrough(self):
+        assert fabric_parameters("medium") == FABRIC_PRESETS["medium"]
+        custom = ClosParameters(npod=2, n0=2, n1=2, n2=2, hosts_per_tor=1)
+        assert fabric_parameters(custom) is custom
+        with pytest.raises(ValueError, match="unknown fabric preset"):
+            fabric_parameters("galactic")
+
+    def test_named_profiles(self):
+        assert WorkloadProfile.named("uniform").popularity == "uniform"
+        assert WorkloadProfile.named("skewed").popularity == "zipf"
+        assert WorkloadProfile.named("hot-tor").hot_tor_fraction > 0
+        with pytest.raises(ValueError, match="unknown workload profile"):
+            WorkloadProfile.named("bursty")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(popularity="pareto"),
+            dict(hot_tor_fraction=1.5),
+            dict(bad_path_fraction=-0.1),
+            dict(repeat_fraction=1.0),
+            dict(num_bad_links=-1),
+            dict(max_initial_retransmissions=0),
+            dict(max_extra_retransmissions=0),
+        ],
+    )
+    def test_profile_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+
+class TestStreamShape:
+    def test_deterministic_per_seed_and_epoch(self):
+        a = make_generator().epoch_events(3)
+        b = make_generator().epoch_events(3)
+        assert a == b
+        # epoch k is independent of which epochs were generated before it
+        generator = make_generator()
+        generator.epoch_events(0)
+        assert generator.epoch_events(3) == a
+        assert make_generator(seed=8).epoch_events(3) != a
+
+    def test_sequence_numbers_are_dense_and_ordered(self):
+        events = make_generator().epoch_events(0)
+        assert isinstance(events[-1], EpochTick)
+        seqs = [e.seq for e in events[:-1]]
+        assert seqs == list(range(len(seqs)))
+
+    def test_event_mix_matches_profile(self):
+        profile = WorkloadProfile(repeat_fraction=0.25)
+        events = make_generator(profile=profile, events_per_epoch=1000).epoch_events(
+            0, tick=False
+        )
+        repeats = sum(1 for e in events if isinstance(e, RetransmissionEvidence))
+        assert repeats == 250
+        # every repeat targets a flow whose path evidence came earlier
+        seen = set()
+        for event in events:
+            if isinstance(event, PathEvidence):
+                seen.add(event.path.flow_id)
+            else:
+                assert event.flow_id in seen
+
+    def test_paths_are_fabric_valid_ecmp_walks(self):
+        generator = make_generator(fabric="small", events_per_epoch=600)
+        topology = ClosTopology(generator.params)
+        valid = {(l.src, l.dst) for l in topology.directed_links()}
+        for event in generator.epoch_events(0, tick=False):
+            if not isinstance(event, PathEvidence):
+                continue
+            path = event.path
+            assert path.links, "paths must carry at least one link"
+            assert path.links[0].src == path.src_host
+            assert path.links[-1].dst == path.dst_host
+            previous = None
+            for link in path.links:
+                assert (link.src, link.dst) in valid
+                if previous is not None:
+                    assert previous.dst == link.src
+                previous = link
+            assert len(path.links) in (2, 4, 6)
+
+    def test_evidence_concentrates_on_bad_links(self):
+        generator = make_generator(
+            fabric="small",
+            profile=WorkloadProfile(bad_path_fraction=0.5, repeat_fraction=0.0),
+            events_per_epoch=800,
+        )
+        bad = set(generator.bad_links_for_epoch(0))
+        assert bad
+        through_bad = sum(
+            1
+            for e in generator.epoch_events(0, tick=False)
+            if any(link in bad for link in e.path.links)
+        )
+        # at least the forced fraction crosses a bad link (random paths add more)
+        assert through_bad >= 0.45 * 800
+
+    def test_stream_is_lazy_and_ticks_every_epoch(self):
+        generator = make_generator(events_per_epoch=50)
+        events = list(generator.stream(3))
+        assert sum(1 for e in events if isinstance(e, EpochTick)) == 3
+        assert events == [e for _, batch in generator.iter_epochs(3) for e in batch]
+
+
+class TestDegenerateFabrics:
+    def test_single_host_fabric_emits_only_ticks(self):
+        params = ClosParameters(npod=1, n0=1, n1=1, n2=1, hosts_per_tor=1)
+        generator = EvidenceLoadGenerator(params, seed=0, events_per_epoch=100)
+        events = generator.epoch_events(0)
+        assert events == [EpochTick(0)]
+
+    def test_single_pod_fabric_never_picks_level2_bad_links(self):
+        params = ClosParameters(npod=1, n0=3, n1=2, n2=2, hosts_per_tor=2)
+        generator = EvidenceLoadGenerator(
+            params,
+            profile=WorkloadProfile(num_bad_links=4),
+            seed=1,
+            events_per_epoch=200,
+        )
+        topology = ClosTopology(params)
+        for link in generator.bad_links_for_epoch(0):
+            assert topology.link_level(link) != LinkLevel.LEVEL2
+        # and the stream still analyses cleanly end to end
+        service = Zero07Service()
+        service.ingest_batch(generator.epoch_events(0))
+        assert service.report(0).num_paths_analyzed > 0
+
+    def test_zero_events_per_epoch(self):
+        generator = make_generator(events_per_epoch=0)
+        assert generator.epoch_events(0) == [EpochTick(0)]
+        with pytest.raises(ValueError):
+            make_generator(events_per_epoch=-1)
+
+
+class TestScriptWindows:
+    def test_flap_window_adds_and_removes_bad_links(self):
+        script = ScenarioScript().flap(
+            start=2, duration=2, drop_rate=0.01, level=LinkLevel.LEVEL1
+        )
+        generator = make_generator(
+            script=script, profile=WorkloadProfile(num_bad_links=0)
+        )
+        assert generator.bad_links_for_epoch(0) == []
+        assert generator.bad_links_for_epoch(4) == []
+        assert len(generator.bad_links_for_epoch(2)) == 1
+        assert len(generator.bad_links_for_epoch(3)) == 1
+
+    def test_burst_and_drain_and_reboot_vocabulary(self):
+        script = (
+            ScenarioScript()
+            .burst(start=1, duration=1, level=LinkLevel.LEVEL2, num_links=2)
+            .drain(start=3, duration=1, level=LinkLevel.LEVEL1)
+            .reboot_switch(epoch=5, tier=SwitchTier.T1, outage_epochs=1)
+        )
+        generator = make_generator(fabric="small", script=script)
+        base = len(generator.bad_links_for_epoch(0))
+        assert len(generator.bad_links_for_epoch(1)) == base + 2
+        # drains take both directions of the physical link down
+        assert len(generator.bad_links_for_epoch(3)) == base + 2
+        # a rebooting switch blackholes every adjacent link, both directions
+        topology = ClosTopology(generator.params)
+        reboot_extra = len(generator.bad_links_for_epoch(5)) - base
+        assert reboot_extra > 0 and reboot_extra % 2 == 0
+
+    def test_scripted_victims_shift_the_evidence(self):
+        script = ScenarioScript().flap(
+            start=1, duration=1, drop_rate=0.01, level=LinkLevel.LEVEL1
+        )
+        generator = make_generator(
+            fabric="small",
+            script=script,
+            profile=WorkloadProfile(bad_path_fraction=0.6, repeat_fraction=0.0),
+            events_per_epoch=600,
+        )
+        [victim] = set(generator.bad_links_for_epoch(1)) - set(
+            generator.bad_links_for_epoch(0)
+        )
+        def crossings(epoch):
+            return sum(
+                1
+                for e in generator.epoch_events(epoch, tick=False)
+                if victim in e.path.links
+            )
+        assert crossings(1) > 3 * max(1, crossings(0))
