@@ -38,7 +38,19 @@ from repro.api.service import (
     ServiceStats,
     Zero07Service,
 )
+from repro.api.executor import (
+    InlineExecutor,
+    ProcessExecutor,
+    ShardExecutor,
+    ShardExecutorError,
+)
 from repro.api.sharded import ShardedService, shard_of_host
+from repro.api.wire import (
+    EvidenceColumnStore,
+    WireDecoder,
+    WireEncoder,
+    WireProtocolError,
+)
 from repro.api.sources import (
     EvidenceRecorder,
     MonitoringEvidenceStream,
@@ -64,6 +76,15 @@ __all__ = [
     # scale-out
     "ShardedService",
     "shard_of_host",
+    "ShardExecutor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "ShardExecutorError",
+    # evidence transport
+    "WireEncoder",
+    "WireDecoder",
+    "EvidenceColumnStore",
+    "WireProtocolError",
     # checkpointing
     "Checkpoint",
     "CHECKPOINT_VERSION",

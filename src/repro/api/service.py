@@ -435,6 +435,28 @@ class Zero07Service:
             else:
                 self.ingest(chunk[0])
 
+    def ingest_run(
+        self,
+        epoch: int,
+        run: List[Evidence],
+        owned: bool = False,
+        seqs: Optional[np.ndarray] = None,
+    ) -> None:
+        """Hand one single-epoch evidence run straight to the batched core.
+
+        The hand-off hook for transports that already segmented the stream
+        (the process-backed shard executor decodes wire batches into exactly
+        one epoch's run, sequence numbers included): skips the segmentation
+        scan of :meth:`ingest_batch` and reuses the caller's ``seqs`` array.
+        Semantics are identical to ``ingest_batch(run, owned=owned)`` for a
+        run that contains no ticks and spans a single epoch.
+        """
+        if "ingest" in self.__dict__:
+            for event in run:
+                self.ingest(event)
+            return
+        self._ingest_evidence_run(epoch, run, owned, seqs)
+
     def consume(self, source: EvidenceSource, owned: bool = False) -> None:
         """Drain an :class:`EvidenceSource` into the service.
 

@@ -1,0 +1,648 @@
+"""Binary evidence transport for the process-backed sharded service.
+
+Two pieces live here, both built around the same column-wise extraction the
+vectorized ingest path already uses (:meth:`Zero07Service.ingest_batch`):
+
+* :class:`WireEncoder` / :class:`WireDecoder` — a compact batch codec for
+  single-epoch runs of :class:`~repro.api.events.PathEvidence` /
+  :class:`~repro.api.events.RetransmissionEvidence`.  Every per-event field
+  travels as a flat numpy buffer (one ``tobytes`` per column, no per-event
+  pickling), and the strings — host names, IPs, ``"src->dst"`` links — are
+  interned once per *connection*: each message carries only the table entries
+  the receiving stream has not seen yet, so a steady-state message is pure
+  integers.  The decoder rebuilds shared ``DirectedLink``/string objects per
+  table entry, which keeps the worker-side tally's identity memo hot.
+
+* :class:`EvidenceColumnStore` — the coordinator-side accumulator behind
+  parallel finalize.  As the sharded facade routes bulk runs to workers it
+  appends the same columns (link ids, path lengths, weights, flow ids,
+  retransmission counts) in **global sequence order**, so a merged epoch
+  tally can be materialized with :meth:`ArrayVoteTally.from_arrays` — no
+  worker round-trip, no per-path replay — and is bit-identical to the replay
+  an inline deployment performs.  Any delivery the bulk path cannot prove
+  clean (reordering, duplicates, pending buffers, per-event ingest) marks the
+  epoch *dirty* and the facade falls back to gather-and-replay, which remains
+  the correctness oracle.
+"""
+
+from __future__ import annotations
+
+import operator
+import struct
+from itertools import chain
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.events import Evidence, PathEvidence, RetransmissionEvidence
+from repro.core.arrays import ArrayVoteTally, ItemIndex, LinkIndex
+from repro.core.votes import VotePolicy
+from repro.discovery.agent import DiscoveredPath
+from repro.routing.fivetuple import FiveTuple
+from repro.topology.elements import DirectedLink
+
+WIRE_MAGIC = b"RW01"
+
+#: header layout: magic, epoch, shard, n_events, n_paths, total_hops,
+#: link-table [lo, hi) delta range, name-table [lo, hi) delta range, and the
+#: byte lengths of the two string blobs that carry the delta entries.
+_HEADER = struct.Struct("<4sqqiiiiiiiii")
+
+
+class WireProtocolError(ValueError):
+    """A message violated the framing or the per-stream table discipline."""
+
+
+def _attr_i64(items, name: str) -> np.ndarray:
+    return np.fromiter(
+        map(operator.attrgetter(name), items), dtype=np.int64, count=len(items)
+    )
+
+
+def _seqs_of(run: Sequence[Evidence]) -> np.ndarray:
+    """The run's sequence numbers (``None`` encoded as -1)."""
+    try:
+        return _attr_i64(run, "seq")
+    except TypeError:  # a seq-less RetransmissionEvidence
+        return np.fromiter(
+            (-1 if e.seq is None else e.seq for e in run),
+            dtype=np.int64,
+            count=len(run),
+        )
+
+
+class WireEncoder:
+    """Encodes evidence runs into per-stream delta-interned messages.
+
+    One encoder serves many output *streams* (one per worker connection);
+    string/link tables are global to the encoder, but each stream remembers
+    how much of each table its decoder has already seen, so messages stay
+    self-contained per connection while interning work is shared.
+
+    The link table may be an externally shared :class:`LinkIndex` (the
+    sharded facade passes its merge-side index) so link ids line up with the
+    coordinator's own column store for free.
+    """
+
+    def __init__(
+        self, streams: int = 1, link_index: Optional[LinkIndex] = None
+    ) -> None:
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        self._links = link_index if link_index is not None else LinkIndex()
+        self._names = ItemIndex()
+        self._links_sent = [0] * streams
+        self._names_sent = [0] * streams
+
+    @property
+    def link_index(self) -> LinkIndex:
+        """The shared link interner (ids appear verbatim on the wire)."""
+        return self._links
+
+    def _ids(self, index: ItemIndex, items: List) -> List[int]:
+        resolved = index.lookup_ids(map(id, items), len(items))
+        if resolved is None:
+            resolved = index.fast_ids(items)
+        return resolved
+
+    def encode_run(
+        self,
+        stream: int,
+        shard: int,
+        epoch: int,
+        run: Sequence[Evidence],
+        seqs: Optional[np.ndarray] = None,
+    ) -> bytes:
+        """Encode one single-epoch evidence run for ``stream``'s decoder.
+
+        The run must contain only :class:`PathEvidence` and
+        :class:`RetransmissionEvidence` events of ``epoch`` (the bulk-routing
+        invariant the sharded facade already enforces).
+        """
+        paths = [e.path for e in run if type(e) is PathEvidence]
+        n_events = len(run)
+        n_paths = len(paths)
+        if seqs is None:
+            seqs = _seqs_of(run)
+        if n_paths == n_events:
+            kinds = np.zeros(n_events, dtype=np.uint8)
+            updates: List[RetransmissionEvidence] = []
+        else:
+            kinds = np.fromiter(
+                (type(e) is RetransmissionEvidence for e in run),
+                dtype=np.uint8,
+                count=n_events,
+            )
+            updates = [e for e in run if type(e) is RetransmissionEvidence]
+            if n_paths + len(updates) != n_events:
+                raise WireProtocolError("run contains non-evidence events")
+
+        links_list = [p.links for p in paths]
+        lengths = np.fromiter(
+            map(len, links_list), dtype=np.int64, count=n_paths
+        ).astype(np.int32)
+        total_hops = int(lengths.sum())
+        lids = self._links.lookup_ids(
+            map(id, chain.from_iterable(links_list)), total_hops
+        )
+        if lids is None:
+            lids = self._links.fast_ids(list(chain.from_iterable(links_list)))
+
+        five_tuples = [p.five_tuple for p in paths]
+        name_ids = self._ids(
+            self._names,
+            [p.src_host for p in paths]
+            + [p.dst_host for p in paths]
+            + [ft.src_ip for ft in five_tuples]
+            + [ft.dst_ip for ft in five_tuples],
+        )
+
+        link_lo = self._links_sent[stream]
+        link_hi = len(self._links)
+        name_lo = self._names_sent[stream]
+        name_hi = len(self._names)
+        links_blob = "\x00".join(
+            f"{l.src}->{l.dst}" for l in self._links.items[link_lo:link_hi]
+        ).encode("utf-8")
+        names_blob = "\x00".join(self._names.items[name_lo:name_hi]).encode(
+            "utf-8"
+        )
+        self._links_sent[stream] = link_hi
+        self._names_sent[stream] = name_hi
+
+        out = bytearray(
+            _HEADER.pack(
+                WIRE_MAGIC,
+                epoch,
+                shard,
+                n_events,
+                n_paths,
+                total_hops,
+                link_lo,
+                link_hi,
+                name_lo,
+                name_hi,
+                len(links_blob),
+                len(names_blob),
+            )
+        )
+        out += links_blob
+        out += names_blob
+        out += kinds.tobytes()
+        out += np.ascontiguousarray(seqs, dtype=np.int64).tobytes()
+        out += _attr_i64(paths, "flow_id").tobytes()
+        out += _attr_i64(paths, "retransmissions").tobytes()
+        out += _attr_i64(paths, "epoch").tobytes()
+        out += lengths.tobytes()
+        out += np.asarray(lids, dtype=np.int32).tobytes()
+        out += np.asarray(name_ids, dtype=np.int32).tobytes()
+        out += np.fromiter(
+            map(operator.attrgetter("src_port"), five_tuples),
+            dtype=np.int32,
+            count=n_paths,
+        ).tobytes()
+        out += np.fromiter(
+            map(operator.attrgetter("dst_port"), five_tuples),
+            dtype=np.int32,
+            count=n_paths,
+        ).tobytes()
+        out += np.fromiter(
+            map(operator.attrgetter("protocol"), five_tuples),
+            dtype=np.int32,
+            count=n_paths,
+        ).tobytes()
+        out += np.fromiter(
+            map(operator.attrgetter("complete"), paths),
+            dtype=np.uint8,
+            count=n_paths,
+        ).tobytes()
+        if updates:
+            out += _attr_i64(updates, "flow_id").tobytes()
+            out += _attr_i64(updates, "retransmissions").tobytes()
+        return bytes(out)
+
+
+class WireDecoder:
+    """Rebuilds evidence events from one stream of encoder messages.
+
+    Stateful by design: the decoder accumulates the stream's link/name tables
+    from each message's delta section, so messages must be decoded in the
+    order they were encoded for this stream (the per-worker pipe is FIFO, so
+    the discipline holds by construction).
+    """
+
+    def __init__(self) -> None:
+        self._links: List[DirectedLink] = []
+        self._names: List[str] = []
+
+    def _extend_tables(
+        self, link_lo: int, links_blob: bytes, name_lo: int, names_blob: bytes
+    ) -> None:
+        if link_lo != len(self._links) or name_lo != len(self._names):
+            raise WireProtocolError(
+                f"table delta out of order: link {link_lo}/{len(self._links)}, "
+                f"name {name_lo}/{len(self._names)}"
+            )
+        if links_blob:
+            for text in links_blob.decode("utf-8").split("\x00"):
+                src, _, dst = text.partition("->")
+                self._links.append(DirectedLink(src, dst))
+        if names_blob:
+            self._names.extend(names_blob.decode("utf-8").split("\x00"))
+
+    def decode(
+        self, data
+    ) -> Tuple[int, int, List[Evidence], np.ndarray]:
+        """Decode one message into ``(shard, epoch, events, seqs)``."""
+        data = memoryview(data)
+        (
+            magic,
+            epoch,
+            shard,
+            n_events,
+            n_paths,
+            total_hops,
+            link_lo,
+            _link_hi,
+            name_lo,
+            _name_hi,
+            links_len,
+            names_len,
+        ) = _HEADER.unpack_from(data, 0)
+        if magic != WIRE_MAGIC:
+            raise WireProtocolError(f"bad magic {magic!r}")
+        offset = _HEADER.size
+        self._extend_tables(
+            link_lo,
+            bytes(data[offset : offset + links_len]),
+            name_lo,
+            bytes(data[offset + links_len : offset + links_len + names_len]),
+        )
+        offset += links_len + names_len
+
+        def column(dtype, count):
+            nonlocal offset
+            arr = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+            offset += arr.nbytes
+            return arr
+
+        kinds = column(np.uint8, n_events)
+        seqs = column(np.int64, n_events)
+        flow_ids = column(np.int64, n_paths).tolist()
+        retrans = column(np.int64, n_paths).tolist()
+        path_epochs = column(np.int64, n_paths).tolist()
+        lengths = column(np.int32, n_paths).tolist()
+        lids = column(np.int32, total_hops).tolist()
+        src_hosts = column(np.int32, n_paths).tolist()
+        dst_hosts = column(np.int32, n_paths).tolist()
+        src_ips = column(np.int32, n_paths).tolist()
+        dst_ips = column(np.int32, n_paths).tolist()
+        src_ports = column(np.int32, n_paths).tolist()
+        dst_ports = column(np.int32, n_paths).tolist()
+        protocols = column(np.int32, n_paths).tolist()
+        complete = column(np.uint8, n_paths).tolist()
+        n_updates = n_events - n_paths
+        upd_flows = column(np.int64, n_updates).tolist()
+        upd_counts = column(np.int64, n_updates).tolist()
+
+        links_table = self._links
+        names = self._names
+        paths: List[DiscoveredPath] = []
+        pos = 0
+        for i in range(n_paths):
+            length = lengths[i]
+            paths.append(
+                DiscoveredPath(
+                    flow_id=flow_ids[i],
+                    five_tuple=FiveTuple(
+                        src_ip=names[src_ips[i]],
+                        dst_ip=names[dst_ips[i]],
+                        src_port=src_ports[i],
+                        dst_port=dst_ports[i],
+                        protocol=protocols[i],
+                    ),
+                    src_host=names[src_hosts[i]],
+                    dst_host=names[dst_hosts[i]],
+                    links=[links_table[j] for j in lids[pos : pos + length]],
+                    complete=bool(complete[i]),
+                    retransmissions=retrans[i],
+                    epoch=path_epochs[i],
+                )
+            )
+            pos += length
+
+        seqs_list = seqs.tolist()
+        if n_updates == 0:
+            events: List[Evidence] = [
+                PathEvidence(epoch, seq, path)
+                for seq, path in zip(seqs_list, paths)
+            ]
+        else:
+            events = []
+            append = events.append
+            path_iter = iter(paths)
+            upd_i = 0
+            for kind, seq in zip(kinds.tolist(), seqs_list):
+                if kind:
+                    append(
+                        RetransmissionEvidence(
+                            epoch,
+                            upd_flows[upd_i],
+                            upd_counts[upd_i],
+                            None if seq < 0 else seq,
+                        )
+                    )
+                    upd_i += 1
+                else:
+                    append(PathEvidence(epoch, seq, next(path_iter)))
+        return shard, epoch, events, seqs
+
+
+# ----------------------------------------------------------------------
+# coordinator-side merged columns
+# ----------------------------------------------------------------------
+class _EpochColumns:
+    """One epoch's accumulated CSR chunks, in global sequence order."""
+
+    __slots__ = (
+        "cols_chunks",
+        "lengths_chunks",
+        "weights_chunks",
+        "flow_chunks",
+        "retransmissions",
+        "row_by_flow",
+        "first_seen",
+        "voted",
+        "support",
+        "max_seq",
+        "num_rows",
+    )
+
+    def __init__(self) -> None:
+        self.cols_chunks: List[np.ndarray] = []
+        self.lengths_chunks: List[np.ndarray] = []
+        self.weights_chunks: List[np.ndarray] = []
+        self.flow_chunks: List[np.ndarray] = []
+        #: a plain list so per-flow count updates can bump rows in place.
+        self.retransmissions: List[int] = []
+        self.row_by_flow: Dict[int, int] = {}
+        self.first_seen: List[int] = []
+        self.voted: set = set()
+        self.support = np.zeros(0, dtype=np.int64)
+        self.max_seq = -1
+        self.num_rows = 0
+
+
+class EvidenceColumnStore:
+    """Accumulates merged epoch columns as bulk runs stream through the facade.
+
+    The facade appends each committed bulk stretch *before* partitioning it to
+    workers, so the columns land in exactly the global sequence order an
+    unsharded service would fold them in — which is the whole bit-identity
+    argument behind :meth:`build_tally`.  Anything the bulk path cannot prove
+    ordered and duplicate-free (sequence regressions, pending buffers,
+    per-event ingestion, restores) marks the epoch dirty, and
+    :meth:`build_tally` returns ``None`` so the caller replays gathered
+    evidence instead — the two paths agree bit-for-bit whenever both apply.
+    """
+
+    def __init__(
+        self, link_index: LinkIndex, policy: VotePolicy = "inverse_hops"
+    ) -> None:
+        self._links = link_index
+        self._policy: VotePolicy = policy
+        self._epochs: Dict[int, _EpochColumns] = {}
+        self._dirty: set = set()
+
+    # ------------------------------------------------------------------
+    def mark_dirty(self, epoch: int) -> None:
+        """Disqualify ``epoch`` from column-store finalize (replay instead)."""
+        if epoch not in self._dirty:
+            self._dirty.add(epoch)
+            self._epochs.pop(epoch, None)
+
+    def is_clean(self, epoch: int) -> bool:
+        """Whether the epoch's merged tally can be built from the columns."""
+        return epoch not in self._dirty
+
+    def pop(self, epoch: int) -> None:
+        """Release the epoch's buffers (after its final report)."""
+        self._epochs.pop(epoch, None)
+        self._dirty.discard(epoch)
+
+    # ------------------------------------------------------------------
+    def append_run(
+        self,
+        epoch: int,
+        run: Sequence[Evidence],
+        seqs: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one committed bulk stretch into the epoch's columns.
+
+        Mirrors the preconditions of the service's vectorized ingest: the
+        stretch must extend the epoch in strictly increasing sequence order
+        and no count update may precede a later re-trace of its flow.  A
+        violation marks the epoch dirty *without* mutating any column, so a
+        half-applied stretch can never leak into a merged tally.
+        """
+        if epoch in self._dirty:
+            return
+        state = self._epochs.get(epoch)
+        if state is None:
+            state = self._epochs[epoch] = _EpochColumns()
+        if seqs is None:
+            seqs = _seqs_of(run)
+        if len(seqs) == 0:
+            return
+        if int(seqs[0]) <= state.max_seq or (
+            len(seqs) > 1 and not bool((np.diff(seqs) > 0).all())
+        ):
+            self.mark_dirty(epoch)
+            return
+
+        paths = [e.path for e in run if type(e) is PathEvidence]
+        n_paths = len(paths)
+        if n_paths == len(run):
+            updates: List[RetransmissionEvidence] = []
+        else:
+            updates = [e for e in run if type(e) is RetransmissionEvidence]
+            if n_paths + len(updates) != len(run):
+                self.mark_dirty(epoch)
+                return
+
+        flow_list: List[int] = []
+        if n_paths:
+            links_list = [p.links for p in paths]
+            lengths = np.fromiter(
+                map(len, links_list), dtype=np.int64, count=n_paths
+            )
+            if n_paths and int(lengths.min()) == 0:
+                # the shard service will raise on the empty path; whatever
+                # state survives is per-event territory.
+                self.mark_dirty(epoch)
+                return
+            flow_list = list(map(operator.attrgetter("flow_id"), paths))
+
+        if updates:
+            # applying updates after the stretch's paths only matches the
+            # per-event order if no updated flow is re-traced later in the
+            # stretch (same degenerate-stream rule as the service fast path).
+            last_path_seq = dict(
+                zip(flow_list, (e.seq for e in run if type(e) is PathEvidence))
+            )
+            seq_of_last_path = last_path_seq.get
+            if any(seq_of_last_path(e.flow_id, -1) > e.seq for e in updates):
+                self.mark_dirty(epoch)
+                return
+            row_of_flow = state.row_by_flow.get
+            upd_flows = np.fromiter(
+                map(operator.attrgetter("flow_id"), updates),
+                dtype=np.int64,
+                count=len(updates),
+            )
+            upd_counts = np.fromiter(
+                map(operator.attrgetter("retransmissions"), updates),
+                dtype=np.int64,
+                count=len(updates),
+            )
+
+        # -- all checks passed: mutate ----------------------------------
+        if n_paths:
+            row0 = state.num_rows
+            lids = self._links.lookup_ids(
+                map(id, chain.from_iterable(links_list)), int(lengths.sum())
+            )
+            if lids is None:
+                lids = self._links.fast_ids(list(chain.from_iterable(links_list)))
+            cols = np.asarray(lids, dtype=np.int64)
+            state.cols_chunks.append(cols)
+            state.lengths_chunks.append(lengths)
+            if self._policy == "unit":
+                state.weights_chunks.append(np.ones(n_paths, dtype=np.float64))
+            else:
+                state.weights_chunks.append(1.0 / lengths)
+            state.flow_chunks.append(np.asarray(flow_list, dtype=np.int64))
+            state.retransmissions.extend(
+                map(operator.attrgetter("retransmissions"), paths)
+            )
+            state.row_by_flow.update(
+                zip(flow_list, range(row0, row0 + n_paths))
+            )
+            state.num_rows = row0 + n_paths
+
+            # distinct (row, link) support — exact per stretch, because a
+            # row's links never span stretches.
+            n_links = len(self._links)
+            rows = np.repeat(
+                np.arange(row0, row0 + n_paths, dtype=np.int64), lengths
+            )
+            pair_keys = np.unique(rows * np.int64(n_links) + cols)
+            counts = np.bincount(
+                pair_keys % np.int64(n_links), minlength=n_links
+            )
+            if len(state.support) < n_links:
+                state.support = np.concatenate(
+                    [
+                        state.support,
+                        np.zeros(n_links - len(state.support), dtype=np.int64),
+                    ]
+                )
+            state.support += counts
+
+            voted = state.voted
+            if len(voted) != len(self._links):
+                first_seen_append = state.first_seen.append
+                for lid in dict.fromkeys(lids):
+                    if lid not in voted:
+                        voted.add(lid)
+                        first_seen_append(lid)
+
+        if updates:
+            unique_flows, inverse = np.unique(upd_flows, return_inverse=True)
+            totals = np.bincount(
+                inverse, weights=upd_counts.astype(np.float64)
+            ).astype(np.int64)
+            retrans = state.retransmissions
+            rows_list = list(map(row_of_flow, unique_flows.tolist()))
+            if None in rows_list:
+                # an update for a flow the columns never saw — only possible
+                # if the facade routed through older per-event state; replay.
+                self.mark_dirty(epoch)
+                return
+            for row, extra in zip(rows_list, totals.tolist()):
+                retrans[row] += extra
+
+        state.max_seq = int(seqs[-1])
+
+    # ------------------------------------------------------------------
+    def build_tally(self, epoch: int) -> Optional[ArrayVoteTally]:
+        """The epoch's merged tally, or ``None`` when replay is required.
+
+        Bit-identical to replaying the epoch's evidence in global sequence
+        order through a fresh :class:`ArrayVoteTally`: the columns were
+        appended in that order, the weights are the same ``1.0 / hops``
+        doubles, the vote fold is the same left-to-right ``np.bincount``
+        accumulation, and support/first-seen bookkeeping is integer-exact.
+        """
+        if epoch in self._dirty:
+            return None
+        state = self._epochs.get(epoch)
+        n_links = len(self._links)
+        if state is None or state.num_rows == 0:
+            return ArrayVoteTally.from_arrays(
+                self._links,
+                np.zeros(0, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                policy=self._policy,
+                votes=np.zeros(n_links, dtype=np.float64),
+                support=np.zeros(n_links, dtype=np.int64),
+            )
+        cols = (
+            np.concatenate(state.cols_chunks)
+            if len(state.cols_chunks) > 1
+            else state.cols_chunks[0]
+        )
+        lengths = (
+            np.concatenate(state.lengths_chunks)
+            if len(state.lengths_chunks) > 1
+            else state.lengths_chunks[0]
+        )
+        weights = (
+            np.concatenate(state.weights_chunks)
+            if len(state.weights_chunks) > 1
+            else state.weights_chunks[0]
+        )
+        flow_ids = (
+            np.concatenate(state.flow_chunks)
+            if len(state.flow_chunks) > 1
+            else state.flow_chunks[0]
+        )
+        indptr = np.zeros(state.num_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        # one bincount over the whole epoch = the same left-to-right float
+        # fold an incremental tally performs (chunk-wise partial bincounts
+        # would reassociate the additions and drift by ULPs).
+        votes = np.bincount(
+            cols, weights=np.repeat(weights, lengths), minlength=n_links
+        )
+        support = state.support
+        if len(support) < n_links:
+            support = np.concatenate(
+                [support, np.zeros(n_links - len(support), dtype=np.int64)]
+            )
+        return ArrayVoteTally.from_arrays(
+            self._links,
+            cols,
+            indptr,
+            weights,
+            flow_ids,
+            np.asarray(state.retransmissions, dtype=np.int64),
+            np.asarray(state.first_seen, dtype=np.int64),
+            policy=self._policy,
+            votes=votes,
+            support=support.copy(),
+        )

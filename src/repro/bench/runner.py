@@ -58,6 +58,12 @@ class BenchConfig:
     profile: WorkloadProfile = field(default_factory=WorkloadProfile.skewed)
     engines: Tuple[str, ...] = ("arrays", "dicts")
     shard_counts: Tuple[int, ...] = (1, 2, 4)
+    #: executor backends to benchmark (``inline`` in-process, ``process``
+    #: worker processes).  Process runs are skipped at ``shards == 1`` —
+    #: one worker behind a pipe is pure overhead, not a deployment shape.
+    backends: Tuple[str, ...] = ("inline",)
+    #: worker-process cap for the process backend (``None``: one per shard).
+    workers: Optional[int] = None
     #: cap on the per-event baseline measurement (the full workload would
     #: mostly measure the slow path we are replacing); ``None`` picks
     #: ``min(events, 250_000)``.
@@ -83,6 +89,15 @@ class BenchConfig:
             raise ValueError("shard_counts needs at least one count >= 1")
         if len(set(self.shard_counts)) != len(self.shard_counts):
             raise ValueError(f"duplicate shard counts: {self.shard_counts!r}")
+        unknown_backends = set(self.backends) - {"inline", "process"}
+        if not self.backends or unknown_backends:
+            raise ValueError(
+                f"backends must be inline/process, got {self.backends!r}"
+            )
+        if len(set(self.backends)) != len(self.backends):
+            raise ValueError(f"duplicate backends: {self.backends!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 when set")
         if self.timeline not in ("none", "flap", "burst"):
             raise ValueError(f"unknown timeline preset {self.timeline!r}")
 
@@ -128,32 +143,59 @@ def _peak_rss_kb() -> int:
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
-def _make_service(engine: str, num_shards: int, retain: int):
+def _make_service(
+    engine: str,
+    num_shards: int,
+    retain: int,
+    backend: str = "inline",
+    workers: Optional[int] = None,
+):
     if num_shards == 1:
         return Zero07Service(engine=engine, retain_reports=retain)
-    return ShardedService(num_shards=num_shards, engine=engine, retain_reports=retain)
+    return ShardedService(
+        num_shards=num_shards,
+        engine=engine,
+        retain_reports=retain,
+        backend=backend,
+        workers=workers,
+    )
 
 
-def _measure_per_event_baseline(config: BenchConfig, engine: str, num_shards: int):
+def _close_service(service) -> None:
+    close = getattr(service, "close", None)
+    if close is not None:
+        close()
+
+
+def _measure_per_event_baseline(
+    config: BenchConfig,
+    engine: str,
+    num_shards: int,
+    backend: str = "inline",
+    workers: Optional[int] = None,
+):
     """Per-event ``ingest()`` throughput on a capped prefix of the workload."""
     cap = config.baseline_cap
     generator = config.make_generator()
-    service = _make_service(engine, num_shards, config.epochs)
+    service = _make_service(engine, num_shards, config.epochs, backend, workers)
     ingested = 0
     seconds = 0.0
-    for epoch in range(config.epochs):
-        if ingested >= cap:
-            break
-        events = generator.epoch_events(epoch, tick=False)
-        if ingested + len(events) > cap:
-            events = events[: cap - ingested]
-        ingest = service.ingest
-        start = time.perf_counter()
-        for event in events:
-            ingest(event)
-        seconds += time.perf_counter() - start
-        ingested += len(events)
-        service.ingest(EpochTick(epoch))
+    try:
+        for epoch in range(config.epochs):
+            if ingested >= cap:
+                break
+            events = generator.epoch_events(epoch, tick=False)
+            if ingested + len(events) > cap:
+                events = events[: cap - ingested]
+            ingest = service.ingest
+            start = time.perf_counter()
+            for event in events:
+                ingest(event)
+            seconds += time.perf_counter() - start
+            ingested += len(events)
+            service.ingest(EpochTick(epoch))
+    finally:
+        _close_service(service)
     return {
         "events": ingested,
         "seconds": seconds,
@@ -165,12 +207,14 @@ def _measure_run(
     config: BenchConfig,
     engine: str,
     num_shards: int,
+    backend: str = "inline",
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
-    """One full (engine, shards) benchmark run over the whole workload."""
+    """One full (engine, backend, shards) benchmark run over the workload."""
     say = progress or (lambda message: None)
     generator = config.make_generator()
-    service = _make_service(engine, num_shards, config.epochs)
+    service = _make_service(engine, num_shards, config.epochs, backend, workers)
 
     ingest_seconds = 0.0
     ingest_events = 0
@@ -179,53 +223,63 @@ def _measure_run(
     epochs_out: List[Dict[str, Any]] = []
     checkpoint_out: Optional[Dict[str, Any]] = None
 
-    for epoch in range(config.epochs):
-        events = generator.epoch_events(epoch, tick=False)
-        paths = sum(1 for e in events if type(e) is PathEvidence)
-        half = len(events) // 2
+    executor = getattr(service, "executor", None)
+    actual_workers = executor.workers if executor is not None else 0
+    try:
+        for epoch in range(config.epochs):
+            events = generator.epoch_events(epoch, tick=False)
+            paths = sum(1 for e in events if type(e) is PathEvidence)
+            half = len(events) // 2
 
-        start = time.perf_counter()
-        service.ingest_batch(events[:half], owned=True)
-        ingest_seconds += time.perf_counter() - start
-
-        for _ in range(max(0, config.report_queries)):
             start = time.perf_counter()
-            service.report(epoch)
-            latencies.append(time.perf_counter() - start)
+            service.ingest_batch(events[:half], owned=True)
+            ingest_seconds += time.perf_counter() - start
 
-        if (
-            config.checkpoint
-            and checkpoint_out is None
-            and epoch == config.epochs - 1
-        ):
-            checkpoint_out = _measure_checkpoint(service, num_shards, epoch)
+            for _ in range(max(0, config.report_queries)):
+                start = time.perf_counter()
+                service.report(epoch)
+                latencies.append(time.perf_counter() - start)
 
-        start = time.perf_counter()
-        service.ingest_batch(events[half:], owned=True)
-        ingest_seconds += time.perf_counter() - start
-        ingest_events += len(events)
+            if (
+                config.checkpoint
+                and checkpoint_out is None
+                and epoch == config.epochs - 1
+            ):
+                checkpoint_out = _measure_checkpoint(
+                    service, num_shards, epoch, backend, workers
+                )
 
-        start = time.perf_counter()
-        service.ingest(EpochTick(epoch))
-        finalize_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            service.ingest_batch(events[half:], owned=True)
+            ingest_seconds += time.perf_counter() - start
+            ingest_events += len(events)
 
-        epochs_out.append(
-            {
-                "epoch": epoch,
-                "events": len(events),
-                "paths": paths,
-                "updates": len(events) - paths,
-            }
-        )
-        say(
-            f"    epoch {epoch}: {len(events)} events "
-            f"({ingest_events / ingest_seconds:,.0f} ev/s cumulative)"
-        )
+            start = time.perf_counter()
+            service.ingest(EpochTick(epoch))
+            finalize_seconds += time.perf_counter() - start
+
+            epochs_out.append(
+                {
+                    "epoch": epoch,
+                    "events": len(events),
+                    "paths": paths,
+                    "updates": len(events) - paths,
+                }
+            )
+            say(
+                f"    epoch {epoch}: {len(events)} events "
+                f"({ingest_events / ingest_seconds:,.0f} ev/s cumulative)"
+            )
+    finally:
+        _close_service(service)
 
     run: Dict[str, Any] = {
         "service": "single" if num_shards == 1 else "sharded",
         "engine": engine,
         "num_shards": num_shards,
+        "backend": backend if num_shards > 1 else "inline",
+        "workers": actual_workers,
+        "scaling_efficiency": None,
         "ingest": {
             "mode": "batch-owned",
             "events": ingest_events,
@@ -252,22 +306,37 @@ def _measure_run(
     return run
 
 
-def _measure_checkpoint(service, num_shards: int, epoch: int) -> Dict[str, Any]:
+def _measure_checkpoint(
+    service,
+    num_shards: int,
+    epoch: int,
+    backend: str = "inline",
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
     """Checkpoint save/restore cost on the service's current (mid-epoch) state."""
     start = time.perf_counter()
     checkpoint = service.checkpoint()
     text = checkpoint.to_json()
     save_seconds = time.perf_counter() - start
 
-    restore_cls = Zero07Service if num_shards == 1 else ShardedService
     from repro.api.checkpoint import Checkpoint
 
-    start = time.perf_counter()
-    restored = restore_cls.restore(Checkpoint.from_json(text))
-    restore_seconds = time.perf_counter() - start
-    identical = report_signature(restored.report(epoch)) == report_signature(
-        service.report(epoch)
-    )
+    if num_shards == 1:
+        start = time.perf_counter()
+        restored = Zero07Service.restore(Checkpoint.from_json(text))
+        restore_seconds = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        restored = ShardedService.restore(
+            Checkpoint.from_json(text), backend=backend, workers=workers
+        )
+        restore_seconds = time.perf_counter() - start
+    try:
+        identical = report_signature(restored.report(epoch)) == report_signature(
+            service.report(epoch)
+        )
+    finally:
+        _close_service(restored)
     return {
         "save_seconds": save_seconds,
         "restore_seconds": restore_seconds,
@@ -289,20 +358,43 @@ def run_service_bench(
 
     runs: List[Dict[str, Any]] = []
     for engine in config.engines:
-        for num_shards in config.shard_counts:
-            say(f"  run: engine={engine} shards={num_shards}")
-            run = _measure_run(config, engine, num_shards, progress)
-            say(
-                f"    per-event baseline (<= {config.baseline_cap} events, "
-                f"shards={num_shards})"
-            )
-            baseline = _measure_per_event_baseline(config, engine, num_shards)
-            run["per_event_baseline"] = baseline
-            if baseline["events_per_sec"] > 0:
-                run["speedup_vs_per_event"] = (
-                    run["ingest"]["events_per_sec"] / baseline["events_per_sec"]
+        for backend in config.backends:
+            for num_shards in config.shard_counts:
+                if backend == "process" and num_shards == 1:
+                    # one worker behind a pipe measures only transport
+                    # overhead; the 1-shard reference is the inline run.
+                    continue
+                say(f"  run: engine={engine} backend={backend} shards={num_shards}")
+                run = _measure_run(
+                    config, engine, num_shards, backend, config.workers, progress
                 )
-            runs.append(run)
+                say(
+                    f"    per-event baseline (<= {config.baseline_cap} events, "
+                    f"backend={backend} shards={num_shards})"
+                )
+                baseline = _measure_per_event_baseline(
+                    config, engine, num_shards, backend, config.workers
+                )
+                run["per_event_baseline"] = baseline
+                if baseline["events_per_sec"] > 0:
+                    run["speedup_vs_per_event"] = (
+                        run["ingest"]["events_per_sec"] / baseline["events_per_sec"]
+                    )
+                runs.append(run)
+
+    # scaling efficiency: throughput per shard, normalized to the
+    # single-service (inline, 1-shard) run of the same engine.
+    reference: Dict[str, float] = {
+        run["engine"]: run["ingest"]["events_per_sec"]
+        for run in runs
+        if run["num_shards"] == 1 and run["backend"] == "inline"
+    }
+    for run in runs:
+        base = reference.get(run["engine"])
+        if base and base > 0 and run["ingest"]["events_per_sec"] > 0:
+            run["scaling_efficiency"] = (
+                run["ingest"]["events_per_sec"] / base
+            ) / run["num_shards"]
 
     document: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -318,6 +410,7 @@ def run_service_bench(
             "profile": dataclasses.asdict(config.profile),
             "engines": list(config.engines),
             "shard_counts": list(config.shard_counts),
+            "backends": list(config.backends),
             "baseline_events": config.baseline_cap,
             "timeline": config.timeline,
         },
@@ -346,7 +439,11 @@ def write_bench_report(
         directory = Path(artifacts_dir)
         directory.mkdir(parents=True, exist_ok=True)
         for run in document["runs"]:
-            name = f"bench_run_{run['engine']}_shards{run['num_shards']}.json"
+            backend = run.get("backend", "inline")
+            name = (
+                f"bench_run_{run['engine']}_{backend}"
+                f"_shards{run['num_shards']}.json"
+            )
             payload = {
                 "schema_version": document["schema_version"],
                 "config": document["config"],
@@ -365,19 +462,23 @@ def format_bench_table(document: Dict[str, Any]) -> str:
         f"events={document['config']['events']:,} "
         f"epochs={document['config']['epochs']} "
         f"profile={document['config']['profile']['popularity']}",
-        f"{'engine':>7} {'shards':>6} {'batch ev/s':>12} {'per-ev ev/s':>12} "
-        f"{'speedup':>8} {'report p50':>11} {'ckpt save':>10} {'peak RSS':>9}",
+        f"{'engine':>7} {'backend':>8} {'shards':>6} {'batch ev/s':>12} "
+        f"{'per-ev ev/s':>12} {'speedup':>8} {'scale-eff':>9} "
+        f"{'report p50':>11} {'ckpt save':>10} {'peak RSS':>9}",
     ]
     for run in document["runs"]:
         latency = run.get("report_latency") or {}
         checkpoint = run.get("checkpoint") or {}
         baseline = run.get("per_event_baseline") or {}
         speedup = run.get("speedup_vs_per_event")
+        efficiency = run.get("scaling_efficiency")
         lines.append(
-            f"{run['engine']:>7} {run['num_shards']:>6} "
+            f"{run['engine']:>7} {run.get('backend', 'inline'):>8} "
+            f"{run['num_shards']:>6} "
             f"{run['ingest']['events_per_sec']:>12,.0f} "
             f"{baseline.get('events_per_sec', 0.0):>12,.0f} "
             f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
+            f"{(f'{efficiency:.2f}' if efficiency else '-'):>9} "
             f"{latency.get('p50_seconds', 0.0) * 1000:>10.1f}ms "
             f"{checkpoint.get('save_seconds', 0.0):>9.2f}s "
             f"{run['peak_rss_kb'] / 1024:>8.0f}M"

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-#: document schema version; bump on incompatible layout changes.
-BENCH_SCHEMA_VERSION = 1
+#: document schema version written by the current runner; bump on
+#: incompatible layout changes.
+BENCH_SCHEMA_VERSION = 2
 
-#: exact top-level key set of a version-1 document.
+#: every version the validator still reads (v1 artifacts predate executor
+#: backends and stay valid — they just cannot express process-backend runs).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+#: exact top-level key set (identical across supported versions).
 TOP_LEVEL_KEYS = {
     "schema_version",
     "generated_by",
@@ -25,7 +30,7 @@ TOP_LEVEL_KEYS = {
     "runs",
 }
 
-#: exact key set of one run entry.
+#: exact key set of one version-1 run entry.
 RUN_KEYS = {
     "service",
     "engine",
@@ -40,6 +45,11 @@ RUN_KEYS = {
     "peak_rss_kb",
 }
 
+#: version 2 adds the executor dimension: which backend hosted the shards,
+#: how many worker processes it used, and how efficiently the run scaled
+#: against the single-service reference.
+RUN_KEYS_V2 = RUN_KEYS | {"backend", "workers", "scaling_efficiency"}
+
 CONFIG_KEYS = {
     "fabric",
     "params",
@@ -53,6 +63,9 @@ CONFIG_KEYS = {
     "baseline_events",
     "timeline",
 }
+
+#: version 2 records the benchmarked backend matrix in the config block.
+CONFIG_KEYS_V2 = CONFIG_KEYS | {"backends"}
 
 
 class BenchSchemaError(ValueError):
@@ -85,12 +98,13 @@ def _validate_ingest(errors: List[str], data: Any, where: str) -> None:
             _require_number(errors, data[key], f"{where}.{key}", positive=True)
 
 
-def _validate_run(errors: List[str], run: Any, where: str) -> None:
+def _validate_run(errors: List[str], run: Any, where: str, version: int) -> None:
     if not isinstance(run, dict):
         errors.append(f"{where} must be an object")
         return
-    missing = RUN_KEYS - set(run)
-    extra = set(run) - RUN_KEYS
+    run_keys = RUN_KEYS if version == 1 else RUN_KEYS_V2
+    missing = run_keys - set(run)
+    extra = set(run) - run_keys
     if missing:
         errors.append(f"{where} is missing keys {sorted(missing)}")
     if extra:
@@ -104,6 +118,24 @@ def _validate_run(errors: List[str], run: Any, where: str) -> None:
         errors.append(f"{where}.num_shards must be an int >= 1")
     if run.get("service") == "single" and shards != 1:
         errors.append(f"{where}: single service must have num_shards == 1")
+    if version >= 2:
+        backend = run.get("backend")
+        if backend not in ("inline", "process"):
+            errors.append(f"{where}.backend must be 'inline' or 'process'")
+        if run.get("service") == "single" and backend != "inline":
+            errors.append(f"{where}: single service runs are always inline")
+        workers = run.get("workers")
+        if not isinstance(workers, int) or workers < 0:
+            errors.append(f"{where}.workers must be an int >= 0")
+        elif backend == "inline" and workers != 0:
+            errors.append(f"{where}: inline backend must record workers == 0")
+        elif backend == "process" and workers < 1:
+            errors.append(f"{where}: process backend must record workers >= 1")
+        efficiency = run.get("scaling_efficiency")
+        if efficiency is not None:
+            _require_number(
+                errors, efficiency, f"{where}.scaling_efficiency", positive=True
+            )
 
     if "ingest" in run:
         _validate_ingest(errors, run["ingest"], f"{where}.ingest")
@@ -196,10 +228,12 @@ def validate_bench_report(document: Any) -> Dict[str, Any]:
     if not isinstance(document, dict):
         raise BenchSchemaError(["document must be a JSON object"])
     version = document.get("schema_version")
-    if version != BENCH_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         errors.append(
-            f"schema_version {version!r} != supported {BENCH_SCHEMA_VERSION}"
+            f"schema_version {version!r} not in supported "
+            f"{SUPPORTED_SCHEMA_VERSIONS}"
         )
+        version = BENCH_SCHEMA_VERSION
     missing = TOP_LEVEL_KEYS - set(document)
     extra = set(document) - TOP_LEVEL_KEYS
     if missing:
@@ -215,7 +249,8 @@ def validate_bench_report(document: Any) -> Dict[str, Any]:
     if not isinstance(config, dict):
         errors.append("config must be an object")
     else:
-        missing_config = CONFIG_KEYS - set(config)
+        config_keys = CONFIG_KEYS if version == 1 else CONFIG_KEYS_V2
+        missing_config = config_keys - set(config)
         if missing_config:
             errors.append(f"config is missing keys {sorted(missing_config)}")
         for key in ("events", "epochs", "events_per_epoch"):
@@ -228,9 +263,14 @@ def validate_bench_report(document: Any) -> Dict[str, Any]:
     else:
         seen = set()
         for i, run in enumerate(runs):
-            _validate_run(errors, run, f"runs[{i}]")
+            _validate_run(errors, run, f"runs[{i}]", version)
             if isinstance(run, dict):
-                key = (run.get("service"), run.get("engine"), run.get("num_shards"))
+                key = (
+                    run.get("service"),
+                    run.get("engine"),
+                    run.get("backend") if version >= 2 else "inline",
+                    run.get("num_shards"),
+                )
                 if key in seen:
                     errors.append(f"runs[{i}] duplicates configuration {key}")
                 seen.add(key)

@@ -205,6 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis engine(s) to benchmark",
     )
     bench.add_argument(
+        "--backend",
+        default="inline",
+        help="comma-separated executor backends to benchmark "
+        "(inline, process, or both as 'inline,process')",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process cap for the process backend "
+        "(default: one worker per shard)",
+    )
+    bench.add_argument(
         "--profile",
         choices=["uniform", "skewed", "hot-tor"],
         default="skewed",
@@ -234,7 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts-dir",
         metavar="DIR",
         default=None,
-        help="also write one JSON artifact per (engine, shards) run into DIR",
+        help="also write one JSON artifact per (engine, backend, shards) "
+        "run into DIR",
     )
     bench.add_argument(
         "--quiet", action="store_true", help="suppress per-epoch progress lines"
@@ -427,6 +441,11 @@ def _run_bench_command(args: argparse.Namespace, out) -> int:
         return 2
     shard_counts = tuple(dict.fromkeys(shard_counts))  # dedupe, keep order
     engines = ("arrays", "dicts") if args.engine == "both" else (args.engine,)
+    backends = tuple(
+        dict.fromkeys(
+            part.strip() for part in args.backend.split(",") if part.strip()
+        )
+    )
     try:
         config = BenchConfig(
             fabric=args.fabric,
@@ -436,6 +455,8 @@ def _run_bench_command(args: argparse.Namespace, out) -> int:
             profile=WorkloadProfile.named(args.profile),
             engines=engines,
             shard_counts=shard_counts,
+            backends=backends,
+            workers=args.workers,
             baseline_events=args.baseline_events,
             timeline=args.timeline,
         )

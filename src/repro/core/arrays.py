@@ -363,6 +363,72 @@ class ArrayVoteTally:
                     first_seen_append(lid)
         self._invalidate()
 
+    @classmethod
+    def from_arrays(
+        cls,
+        index: LinkIndex,
+        cols: np.ndarray,
+        indptr: np.ndarray,
+        weights: np.ndarray,
+        flow_ids: np.ndarray,
+        retransmissions: np.ndarray,
+        first_seen: np.ndarray,
+        policy: VotePolicy = "inverse_hops",
+        votes: Optional[np.ndarray] = None,
+        support: Optional[np.ndarray] = None,
+    ) -> "ArrayVoteTally":
+        """Wrap already-materialized CSR columns as a finished tally.
+
+        The merged-evidence path of the sharded service accumulates one
+        epoch's columns in global sequence order as a byproduct of wire
+        encoding; this constructor turns them into a tally without replaying
+        per-path ``add_flow`` calls.  Bit-identity holds as long as the
+        caller provides columns in the same fold order an incremental tally
+        would have used: ``cols`` in sequence order (fixes the vote fold and
+        ``first_seen``), ``weights = 1.0 / path_length`` (the same double
+        division), and integer ``support`` counted over distinct
+        ``(row, link)`` pairs.  ``votes``/``support`` may be passed when the
+        caller already accumulated them; they are derived otherwise.
+
+        The tally is read-only in spirit: further ``add_flow`` calls are not
+        supported (the accumulation lists are replaced by arrays).
+        """
+        tally = cls(policy=policy, index=index)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        tally._cols = cols  # type: ignore[assignment]
+        tally._indptr = indptr  # type: ignore[assignment]
+        tally._weights = weights  # type: ignore[assignment]
+        tally._flow_ids = np.ascontiguousarray(flow_ids, dtype=np.int64)  # type: ignore[assignment]
+        tally._retransmissions = np.ascontiguousarray(  # type: ignore[assignment]
+            retransmissions, dtype=np.int64
+        )
+        tally._first_seen = np.ascontiguousarray(first_seen, dtype=np.int64)  # type: ignore[assignment]
+        tally._voted = set(tally._first_seen.tolist())
+        tally._row_by_flow = dict(
+            zip(tally._flow_ids.tolist(), range(len(tally._flow_ids)))
+        )
+        n = len(index)
+        if votes is None:
+            lengths = np.diff(indptr)
+            votes = np.bincount(cols, weights=np.repeat(weights, lengths), minlength=n)
+        if support is None:
+            lengths = np.diff(indptr)
+            rows = np.repeat(np.arange(len(weights), dtype=np.int64), lengths)
+            pair_keys = np.unique(rows * np.int64(max(n, 1)) + cols)
+            support = np.bincount(pair_keys % np.int64(max(n, 1)), minlength=n)
+        votes = np.ascontiguousarray(votes, dtype=np.float64)
+        support = np.ascontiguousarray(support, dtype=np.int64)
+        if len(votes) < n:
+            votes = np.concatenate([votes, np.zeros(n - len(votes))])
+        if len(support) < n:
+            support = np.concatenate(
+                [support, np.zeros(n - len(support), dtype=np.int64)]
+            )
+        tally._arrays = (cols, indptr, weights, votes, support)
+        return tally
+
     def row_of_flow(self, flow_id: int) -> Optional[int]:
         """Row index of ``flow_id``'s latest contribution (``None`` if unknown)."""
         return self._row_by_flow.get(flow_id)
@@ -598,21 +664,31 @@ def blame_kernel(
                 order = np.argsort(cols, kind="stable")
                 sorted_cols = cols[order]
                 rows_by_col = row_of_pos[order]
+                # The discount walk is a sequential clamped fold per affected
+                # link, so it cannot vectorize — but plain Python floats over
+                # list views run it ~6x faster than per-row numpy fancy
+                # indexing, with the exact same doubles (CPython floats are
+                # C doubles, and ``max(0.0, v - w)`` is the dict engine's own
+                # expression).  A link repeated within one path is discounted
+                # once per occurrence with clamping in between, which the
+                # per-occurrence loop does natively.
+                indptr_list = indptr.tolist()
+                cols_list = cols.tolist()
+                weights_list = weights.tolist()
             lo = np.searchsorted(sorted_cols, best, side="left")
             hi = np.searchsorted(sorted_cols, best, side="right")
-            for row in rows_by_col[lo:hi]:
+            votes_list = votes.tolist()
+            for row in rows_by_col[lo:hi].tolist():
                 if not alive[row]:
                     continue
-                row_cols = cols[indptr[row] : indptr[row + 1]]
-                others = row_cols[row_cols != best]
-                if len(np.unique(others)) == len(others):
-                    votes[others] = np.maximum(0.0, votes[others] - weights[row])
-                else:
-                    # a link repeated within one path must be discounted once
-                    # per occurrence, clamping in between, like the dict scan
-                    for col in others:
-                        votes[col] = max(0.0, votes[col] - weights[row])
+                weight = weights_list[row]
+                for col in cols_list[indptr_list[row] : indptr_list[row + 1]]:
+                    if col == best:
+                        continue
+                    discounted = votes_list[col] - weight
+                    votes_list[col] = discounted if discounted > 0.0 else 0.0
                 alive[row] = False
+            votes = np.asarray(votes_list, dtype=np.float64)
     return detected, votes_at, votes
 
 

@@ -32,6 +32,15 @@ EXPECTED_EXPORTS = {
     # scale-out
     "ShardedService",
     "shard_of_host",
+    "ShardExecutor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "ShardExecutorError",
+    # evidence transport
+    "WireEncoder",
+    "WireDecoder",
+    "EvidenceColumnStore",
+    "WireProtocolError",
     # checkpointing
     "Checkpoint",
     "CHECKPOINT_VERSION",
@@ -73,7 +82,9 @@ EXPECTED_SIGNATURES = {
         "engine: 'EngineKind' = 'arrays', "
         "attribute_noise_flows: 'bool' = False, "
         "sinks: 'Sequence[ReportSink]' = (), "
-        "retain_reports: 'int' = 8) -> 'None'"
+        "retain_reports: 'int' = 8, "
+        "backend: 'str' = 'inline', "
+        "workers: 'Optional[int]' = None) -> 'None'"
     ),
     "ShardedService.report": "(self, epoch: 'Optional[int]' = None) -> 'EpochReport'",
     "Checkpoint.to_json": "(self, indent: 'int | None' = None) -> 'str'",

@@ -33,11 +33,18 @@ def document():
     return validate_bench_report(json.loads(ARTIFACT.read_text()))
 
 
-def run_for(document, engine, num_shards):
+def run_for(document, engine, num_shards, backend="inline"):
     for run in document["runs"]:
-        if run["engine"] == engine and run["num_shards"] == num_shards:
+        if (
+            run["engine"] == engine
+            and run["num_shards"] == num_shards
+            and run["backend"] == backend
+        ):
             return run
-    raise AssertionError(f"no recorded run for engine={engine} shards={num_shards}")
+    raise AssertionError(
+        f"no recorded run for engine={engine} shards={num_shards} "
+        f"backend={backend}"
+    )
 
 
 def test_artifact_is_schema_valid_and_current_version(document):
@@ -50,6 +57,7 @@ def test_artifact_records_the_acceptance_workload(document):
     assert config["events"] >= 1_000_000
     assert set(config["engines"]) == {"arrays", "dicts"}
     assert set(config["shard_counts"]) == {1, 2, 4}
+    assert set(config["backends"]) == {"inline", "process"}
 
 
 def test_vectorized_ingest_is_at_least_5x_on_the_acceptance_workload(document):
@@ -65,10 +73,56 @@ def test_vectorized_ingest_is_at_least_5x_on_the_acceptance_workload(document):
 
 def test_every_recorded_configuration_beats_per_event_ingest(document):
     for engine in ("arrays", "dicts"):
-        for shards in (1, 2, 4):
-            run = run_for(document, engine, shards)
-            assert run["speedup_vs_per_event"] > 1.0, (engine, shards)
-            assert run["checkpoint"]["restore_bit_identical"] is True
+        # process-1 is deliberately absent: one worker behind a pipe measures
+        # only transport overhead, so the 1-shard reference is the inline run.
+        for backend, counts in (("inline", (1, 2, 4)), ("process", (2, 4))):
+            for shards in counts:
+                run = run_for(document, engine, shards, backend)
+                assert run["speedup_vs_per_event"] > 1.0, (engine, backend, shards)
+                assert run["checkpoint"]["restore_bit_identical"] is True
+
+
+def test_process_backend_beats_single_shard_ingest(document):
+    """The scale-out bar: 4 process-hosted shards out-ingest one service.
+
+    The coordinator keeps only the routing pass; encoding and the merged
+    column fold ride the transport pipeline, and the workers tally off the
+    critical path — so wall-clock ingest must beat the single-service run
+    outright, not merely scale per-core.
+    """
+    single = run_for(document, "arrays", 1)
+    process = run_for(document, "arrays", 4, backend="process")
+    assert (
+        process["ingest"]["events_per_sec"] > single["ingest"]["events_per_sec"]
+    ), (
+        "process-backend 4-shard ingest "
+        f"({process['ingest']['events_per_sec']:.0f} ev/s) no longer beats "
+        f"the single service ({single['ingest']['events_per_sec']:.0f} ev/s)"
+    )
+    # scaling_efficiency is per-shard-normalized throughput vs the inline
+    # 1-shard reference; > 0.25 at 4 shards means the fleet beats it outright.
+    efficiency = process["scaling_efficiency"]
+    assert efficiency is not None and efficiency > 0.25
+
+
+def test_process_backend_beats_single_shard_finalize(document):
+    """Parallel finalize: merged columns cut the epoch-close critical path.
+
+    The coordinator folds evidence into per-epoch columns while ingest is
+    cheap, so closing an epoch is one whole-epoch tally + analysis instead
+    of the single service's full materialization — finalize wall-clock must
+    come in below the 1-shard run.
+    """
+    single = run_for(document, "arrays", 1)
+    process = run_for(document, "arrays", 4, backend="process")
+    single_per_epoch = single["finalize"]["seconds"] / single["finalize"]["epochs"]
+    process_per_epoch = (
+        process["finalize"]["seconds"] / process["finalize"]["epochs"]
+    )
+    assert process_per_epoch < single_per_epoch, (
+        f"process-backend finalize ({process_per_epoch:.3f}s/epoch) no longer "
+        f"beats the single service ({single_per_epoch:.3f}s/epoch)"
+    )
 
 
 def test_recorded_epoch_counters_cover_the_whole_workload(document):

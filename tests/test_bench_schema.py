@@ -25,7 +25,7 @@ from repro.bench import (
 )
 from repro.loadgen import WorkloadProfile
 
-#: the version-1 golden key sets; changing them is a schema bump.
+#: the golden key sets; changing them is a schema bump.
 GOLDEN_TOP_KEYS = {
     "schema_version",
     "generated_by",
@@ -34,7 +34,7 @@ GOLDEN_TOP_KEYS = {
     "environment",
     "runs",
 }
-GOLDEN_RUN_KEYS = {
+GOLDEN_RUN_KEYS_V1 = {
     "service",
     "engine",
     "num_shards",
@@ -46,6 +46,12 @@ GOLDEN_RUN_KEYS = {
     "checkpoint",
     "epochs",
     "peak_rss_kb",
+}
+#: version 2 added the executor dimension.
+GOLDEN_RUN_KEYS = GOLDEN_RUN_KEYS_V1 | {
+    "backend",
+    "workers",
+    "scaling_efficiency",
 }
 
 
@@ -59,10 +65,25 @@ def tiny_document():
         profile=WorkloadProfile.uniform(),
         engines=("arrays",),
         shard_counts=(1, 2),
+        backends=("inline", "process"),
         baseline_events=500,
         report_queries=1,
     )
     return run_service_bench(config)
+
+
+def as_version_1(document):
+    """The same document as a version-1 reader would have written it."""
+    v1 = copy.deepcopy(document)
+    v1["schema_version"] = 1
+    v1["config"].pop("backends")
+    v1["runs"] = [
+        run for run in v1["runs"] if run["backend"] == "inline"
+    ]
+    for run in v1["runs"]:
+        for key in ("backend", "workers", "scaling_efficiency"):
+            run.pop(key)
+    return v1
 
 
 class TestProducedDocument:
@@ -90,12 +111,36 @@ class TestProducedDocument:
 
     def test_matrix_covers_requested_configurations(self, tiny_document):
         configs = {
-            (run["engine"], run["num_shards"]) for run in tiny_document["runs"]
+            (run["engine"], run["backend"], run["num_shards"])
+            for run in tiny_document["runs"]
         }
-        assert configs == {("arrays", 1), ("arrays", 2)}
+        # process-1 is skipped on purpose: one worker behind a pipe measures
+        # only transport overhead; the 1-shard reference is the inline run.
+        assert configs == {
+            ("arrays", "inline", 1),
+            ("arrays", "inline", 2),
+            ("arrays", "process", 2),
+        }
         for run in tiny_document["runs"]:
             expected = "single" if run["num_shards"] == 1 else "sharded"
             assert run["service"] == expected
+            if run["backend"] == "inline":
+                assert run["workers"] == 0
+            else:
+                assert run["workers"] >= 1
+
+    def test_scaling_efficiency_is_normalized_to_the_inline_reference(
+        self, tiny_document
+    ):
+        by_key = {
+            (run["backend"], run["num_shards"]): run
+            for run in tiny_document["runs"]
+        }
+        reference = by_key[("inline", 1)]["ingest"]["events_per_sec"]
+        assert by_key[("inline", 1)]["scaling_efficiency"] == 1.0
+        for (backend, shards), run in by_key.items():
+            expected = (run["ingest"]["events_per_sec"] / reference) / shards
+            assert run["scaling_efficiency"] == pytest.approx(expected)
 
     def test_write_and_artifacts(self, tiny_document, tmp_path):
         out = tmp_path / "BENCH_service.json"
@@ -103,13 +148,25 @@ class TestProducedDocument:
         validate_bench_report(json.loads(out.read_text()))
         artifacts = sorted(p.name for p in (tmp_path / "runs").iterdir())
         assert artifacts == [
-            "bench_run_arrays_shards1.json",
-            "bench_run_arrays_shards2.json",
+            "bench_run_arrays_inline_shards1.json",
+            "bench_run_arrays_inline_shards2.json",
+            "bench_run_arrays_process_shards2.json",
         ]
 
     def test_format_table_mentions_every_run(self, tiny_document):
         table = format_bench_table(tiny_document)
         assert table.count("arrays") == len(tiny_document["runs"])
+
+
+class TestVersion1Compatibility:
+    def test_version_1_documents_stay_readable(self, tiny_document):
+        validate_bench_report(as_version_1(tiny_document))
+
+    def test_version_1_rejects_version_2_keys(self, tiny_document):
+        v1 = as_version_1(tiny_document)
+        v1["runs"][0]["backend"] = "inline"
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report(v1)
 
 
 class TestValidatorRejectsDrift:
@@ -160,6 +217,39 @@ class TestValidatorRejectsDrift:
     def test_rejects_duplicate_run_configuration(self, tiny_document):
         def mutate(document):
             document["runs"].append(copy.deepcopy(document["runs"][0]))
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_unknown_backend(self, tiny_document):
+        self.corrupt(
+            tiny_document, lambda d: d["runs"][0].update(backend="carrier-pigeon")
+        )
+
+    def test_rejects_inline_run_recording_workers(self, tiny_document):
+        def mutate(document):
+            for run in document["runs"]:
+                if run["backend"] == "inline":
+                    run["workers"] = 2
+                    return
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_process_run_without_workers(self, tiny_document):
+        def mutate(document):
+            for run in document["runs"]:
+                if run["backend"] == "process":
+                    run["workers"] = 0
+                    return
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_single_service_on_process_backend(self, tiny_document):
+        def mutate(document):
+            for run in document["runs"]:
+                if run["service"] == "single":
+                    run["backend"] = "process"
+                    run["workers"] = 1
+                    return
 
         self.corrupt(tiny_document, mutate)
 

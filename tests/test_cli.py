@@ -107,14 +107,49 @@ class TestCommands:
         assert code == 0
         assert "wrote schema-valid perf document" in out.getvalue()
         document = validate_bench_report(json.loads(target.read_text()))
-        assert {(r["engine"], r["num_shards"]) for r in document["runs"]} == {
-            ("arrays", 1),
-            ("arrays", 2),
+        assert {
+            (r["engine"], r["backend"], r["num_shards"])
+            for r in document["runs"]
+        } == {
+            ("arrays", "inline", 1),
+            ("arrays", "inline", 2),
         }
         assert sorted(p.name for p in (tmp_path / "runs").iterdir()) == [
-            "bench_run_arrays_shards1.json",
-            "bench_run_arrays_shards2.json",
+            "bench_run_arrays_inline_shards1.json",
+            "bench_run_arrays_inline_shards2.json",
         ]
+
+    def test_bench_command_accepts_process_backend(self, tmp_path):
+        import json
+
+        from repro.bench import validate_bench_report
+
+        out = io.StringIO()
+        target = tmp_path / "BENCH_service.json"
+        code = main(
+            [
+                "bench",
+                "--fabric", "tiny",
+                "--events", "1200",
+                "--epochs", "2",
+                "--shards", "1,2",
+                "--engine", "arrays",
+                "--backend", "inline,process",
+                "--workers", "2",
+                "--baseline-events", "400",
+                "--json", str(target),
+                "--quiet",
+            ],
+            out=out,
+        )
+        assert code == 0
+        document = validate_bench_report(json.loads(target.read_text()))
+        assert {
+            (r["backend"], r["num_shards"]) for r in document["runs"]
+        } == {("inline", 1), ("inline", 2), ("process", 2)}
+
+    def test_bench_rejects_bad_backend(self):
+        assert main(["bench", "--backend", "smoke-signals", "--quiet"]) == 2
 
     def test_bench_rejects_bad_shards(self):
         assert main(["bench", "--shards", "nope", "--quiet"]) == 2
