@@ -35,6 +35,7 @@ from repro.api.service import (
     DetectionLogSink,
     EvidenceSource,
     ReportSink,
+    ReportUnavailableError,
     ServiceStats,
     Zero07Service,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "ServiceStats",
     "EvidenceSource",
     "ReportSink",
+    "ReportUnavailableError",
     "CallbackSink",
     "DetectionLogSink",
     # scale-out

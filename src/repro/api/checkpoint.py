@@ -1,6 +1,6 @@
 """Checkpointing of streaming-service analysis state.
 
-A :class:`Checkpoint` is a frozen, JSON-serializable snapshot of everything a
+A :class:`Checkpoint` is a frozen snapshot of everything a
 :class:`~repro.api.service.Zero07Service` (or
 :class:`~repro.api.sharded.ShardedService`) needs to resume *bit-identically*:
 the analysis configuration, the epoch bookkeeping, and every open epoch's
@@ -8,23 +8,82 @@ evidence records in sequence order.  Finalized epochs' reports are not
 checkpointed — they were already delivered to the report sinks; a restored
 service picks up exactly where ingestion stopped.
 
-The payload is plain dicts/lists/strings/numbers (see
-:mod:`repro.api.events` for the path/link codecs), so checkpoints survive
-``json`` round-trips exactly and can be diffed, stored, or shipped between
-machines.
+Two serializations of the same payload exist:
+
+* **JSON** (format version 1) — plain dicts/lists/strings/numbers (see
+  :mod:`repro.api.events` for the path/link codecs).  Human-readable,
+  diffable, and still fully readable and restorable.
+* **Binary** (format version 2, the default for :meth:`Checkpoint.save`) — a
+  small container: magic ``R7CK``, a zlib-compressed JSON header carrying the
+  configuration, counters and string/link interner tables, followed by an
+  ``npz`` blob of the dense per-epoch record columns (sequence numbers, flow
+  ids, CSR link ids, five-tuple components, ...).  Typically ~20x smaller
+  than the JSON body and decoded straight into shared
+  :class:`~repro.topology.elements.DirectedLink` objects, which is what makes
+  sub-second restores possible.
+
+On top of either format, **delta checkpoints** carry only the evidence that
+arrived since a full base checkpoint (new records, records whose
+retransmission counts changed, new consumed update seqs) plus the current
+counters.  :meth:`Checkpoint.apply_delta` merges a delta onto its base —
+verified by a structural fingerprint — yielding a full checkpoint again.
 """
 
 from __future__ import annotations
 
+import gc
+import io
 import json
-from dataclasses import dataclass
+import os
+import struct
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
+from repro.api.events import link_from_str, path_from_dict, path_to_dict
 from repro.core.blame import BlameConfig
+from repro.discovery.agent import DiscoveredPath
+from repro.routing.fivetuple import FiveTuple
 
-#: payload schema version; bump on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: payload schema version written by :meth:`Zero07Service.checkpoint`;
+#: version 2 added delta checkpoints and the binary container.
+CHECKPOINT_VERSION = 2
+
+#: payload versions :meth:`Checkpoint.validate` accepts (v1 stays readable).
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+
+#: magic prefix of the binary container (followed by a container version).
+CHECKPOINT_MAGIC = b"R7CK"
+
+#: binary container layout version (orthogonal to the payload version).
+_CONTAINER_VERSION = 1
+
+#: magic + u32 container version + u64 compressed-header length.
+_CONTAINER_HEADER = struct.Struct("<4sIQ")
+
+
+@contextmanager
+def gc_paused():
+    """Pause the cyclic garbage collector for a bulk-allocation section.
+
+    Restore decodes hundreds of thousands of small objects in one burst;
+    every generational collection triggered mid-burst rescans the growing
+    heap and roughly doubles restore latency (and its variance).  Nothing
+    allocated here is garbage yet, so collection is deferred until the
+    section ends.  Reentrant: the collector is only re-enabled by the
+    outermost pause, and only if it was enabled on entry.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def blame_to_dict(config: BlameConfig) -> Dict[str, Any]:
@@ -47,11 +106,487 @@ def blame_from_dict(data: Dict[str, Any]) -> BlameConfig:
     )
 
 
+# ----------------------------------------------------------------------
+# columnar record codec (the binary body)
+# ----------------------------------------------------------------------
+class _Interner:
+    """Interns hashable items to dense ids (encode-side string/link tables)."""
+
+    __slots__ = ("ids", "items")
+
+    def __init__(self) -> None:
+        self.ids: Dict[Any, int] = {}
+        self.items: List[Any] = []
+
+    def intern(self, item) -> int:
+        idx = self.ids.get(item)
+        if idx is None:
+            idx = len(self.items)
+            self.ids[item] = idx
+            self.items.append(item)
+        return idx
+
+
+@dataclass(frozen=True)
+class CheckpointColumns:
+    """Decoded binary body: dense record columns + shared interner tables.
+
+    ``links`` holds one :class:`DirectedLink` object per table entry; every
+    decoded path shares them, so a restore interns each distinct link once
+    through the tally's identity memo instead of once per hop.
+    """
+
+    arrays: Dict[str, np.ndarray]
+    names: List[str]
+    links: List[Any]
+
+
+#: the per-record columns of one epoch, in encode order.
+_RECORD_COLUMNS = (
+    ("seq", np.int64),
+    ("flow", np.int64),
+    ("retr", np.int64),
+    ("comp", np.uint8),
+    ("pep", np.int64),
+    ("len", np.int32),
+    ("sh", np.int32),
+    ("dh", np.int32),
+    ("sip", np.int32),
+    ("dip", np.int32),
+    ("sp", np.int32),
+    ("dp", np.int32),
+    ("pr", np.int32),
+)
+
+
+def _encode_records(
+    records: List[list],
+    prefix: str,
+    arrays: Dict[str, np.ndarray],
+    names: _Interner,
+    links: _Interner,
+) -> Dict[str, Any]:
+    """Columnize one epoch's ``[[seq, path_dict], ...]`` records."""
+    cols: Dict[str, list] = {name: [] for name, _ in _RECORD_COLUMNS}
+    hops: List[int] = []
+    intern_name = names.intern
+    intern_link = links.intern
+    for seq, pd in records:
+        ft = pd["five_tuple"]
+        link_strs = pd["links"]
+        cols["seq"].append(seq)
+        cols["flow"].append(pd["flow_id"])
+        cols["retr"].append(pd["retransmissions"])
+        cols["comp"].append(1 if pd["complete"] else 0)
+        cols["pep"].append(pd["epoch"])
+        cols["len"].append(len(link_strs))
+        cols["sh"].append(intern_name(pd["src_host"]))
+        cols["dh"].append(intern_name(pd["dst_host"]))
+        cols["sip"].append(intern_name(ft[0]))
+        cols["dip"].append(intern_name(ft[1]))
+        cols["sp"].append(ft[2])
+        cols["dp"].append(ft[3])
+        cols["pr"].append(ft[4])
+        hops.extend(map(intern_link, link_strs))
+    for name, dtype in _RECORD_COLUMNS:
+        arrays[f"{prefix}_{name}"] = np.asarray(cols[name], dtype=dtype)
+    arrays[f"{prefix}_hop"] = np.asarray(hops, dtype=np.int32)
+    return {"__columns__": prefix, "count": len(records)}
+
+
+def _decode_records(
+    prefix: str, columns: CheckpointColumns
+) -> Tuple[List[int], List[DiscoveredPath]]:
+    """Rebuild ``(seqs, paths)`` from one epoch's columns.
+
+    Paths are constructed fresh on every call (so repeated restores from one
+    checkpoint never share mutable path objects) but share the decoded
+    :class:`DirectedLink` objects and table strings.
+    """
+    a = columns.arrays
+    seqs = a[f"{prefix}_seq"].tolist()
+    flows = a[f"{prefix}_flow"].tolist()
+    retrs = a[f"{prefix}_retr"].tolist()
+    comps = a[f"{prefix}_comp"].tolist()
+    peps = a[f"{prefix}_pep"].tolist()
+    lens = a[f"{prefix}_len"].tolist()
+    shs = a[f"{prefix}_sh"].tolist()
+    dhs = a[f"{prefix}_dh"].tolist()
+    sips = a[f"{prefix}_sip"].tolist()
+    dips = a[f"{prefix}_dip"].tolist()
+    sps = a[f"{prefix}_sp"].tolist()
+    dps = a[f"{prefix}_dp"].tolist()
+    prs = a[f"{prefix}_pr"].tolist()
+    hops = a[f"{prefix}_hop"].tolist()
+    names = columns.names
+    links = columns.links
+    # Hoist every table lookup out of the record loop: whole-column maps run
+    # through C iterators, the loop then only assembles per-record objects.
+    src_ips = list(map(names.__getitem__, sips))
+    dst_ips = list(map(names.__getitem__, dips))
+    src_hosts = list(map(names.__getitem__, shs))
+    dst_hosts = list(map(names.__getitem__, dhs))
+    hop_links = list(map(links.__getitem__, hops))
+    paths: List[DiscoveredPath] = []
+    append = paths.append
+    # Restore is on the failover critical path, so the per-record dataclass
+    # machinery (``__init__`` + ``FiveTuple.__post_init__`` validation) is
+    # bypassed: every value was validated when the checkpointed service first
+    # ingested it, and both classes store their fields in a plain ``__dict__``.
+    new_path = DiscoveredPath.__new__
+    new_ft = FiveTuple.__new__
+    set_attr = object.__setattr__
+    pos = 0
+    for i in range(len(seqs)):
+        end = pos + lens[i]
+        ft = new_ft(FiveTuple)
+        set_attr(
+            ft,
+            "__dict__",
+            {
+                "src_ip": src_ips[i],
+                "dst_ip": dst_ips[i],
+                "src_port": sps[i],
+                "dst_port": dps[i],
+                "protocol": prs[i],
+            },
+        )
+        path = new_path(DiscoveredPath)
+        path.__dict__ = {
+            "flow_id": flows[i],
+            "five_tuple": ft,
+            "src_host": src_hosts[i],
+            "dst_host": dst_hosts[i],
+            "links": hop_links[pos:end],
+            "complete": bool(comps[i]),
+            "retransmissions": retrs[i],
+            "epoch": peps[i],
+        }
+        append(path)
+        pos = end
+    return seqs, paths
+
+
+def epoch_records(
+    entry: Dict[str, Any], columns: Optional[CheckpointColumns]
+) -> Tuple[List[int], List[DiscoveredPath]]:
+    """``(seqs, fresh path objects)`` of one epoch entry, any serialization."""
+    records = entry["records"]
+    if isinstance(records, dict):
+        return _decode_records(records["__columns__"], columns)
+    seqs = [int(seq) for seq, _ in records]
+    paths = [path_from_dict(pd) for _, pd in records]
+    return seqs, paths
+
+
+def epoch_retransmission_seqs(
+    entry: Dict[str, Any], columns: Optional[CheckpointColumns]
+) -> List[int]:
+    """The epoch's consumed retransmission-update seqs, any serialization."""
+    seqs = entry["retransmission_seqs"]
+    if isinstance(seqs, dict):
+        return columns.arrays[f"{seqs['__columns__']}_rs"].tolist()
+    return [int(s) for s in seqs]
+
+
+def _epoch_seq_retrans(
+    entry: Dict[str, Any], columns: Optional[CheckpointColumns]
+) -> Dict[int, int]:
+    """``{record seq: retransmission count}`` of one epoch entry."""
+    records = entry["records"]
+    if isinstance(records, dict):
+        prefix = records["__columns__"]
+        a = columns.arrays
+        return dict(
+            zip(a[f"{prefix}_seq"].tolist(), a[f"{prefix}_retr"].tolist())
+        )
+    return {int(seq): int(pd["retransmissions"]) for seq, pd in records}
+
+
+def _epoch_records_as_dicts(
+    entry: Dict[str, Any], columns: Optional[CheckpointColumns]
+) -> List[list]:
+    """The epoch's records as JSON-ready ``[[seq, path_dict], ...]``."""
+    records = entry["records"]
+    if not isinstance(records, dict):
+        return records
+    seqs, paths = _decode_records(records["__columns__"], columns)
+    return [[seq, path_to_dict(path)] for seq, path in zip(seqs, paths)]
+
+
+def _materialize_entry(
+    entry: Dict[str, Any], columns: Optional[CheckpointColumns]
+) -> Dict[str, Any]:
+    """An epoch entry with every column marker resolved back to JSON lists."""
+    out = dict(entry)
+    out["records"] = _epoch_records_as_dicts(entry, columns)
+    out["retransmission_seqs"] = epoch_retransmission_seqs(entry, columns)
+    return out
+
+
+def _service_sections(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The service-shaped sub-payloads (the payload itself, or its shards)."""
+    if payload.get("kind") == "sharded":
+        return list(payload.get("shards", ()))
+    return [payload]
+
+
+# ----------------------------------------------------------------------
+# delta checkpoints
+# ----------------------------------------------------------------------
+def _service_fingerprint(
+    payload: Dict[str, Any], columns: Optional[CheckpointColumns]
+) -> Dict[str, Any]:
+    epochs = {}
+    for entry in payload["epochs"]:
+        counts = _epoch_seq_retrans(entry, columns)
+        epochs[str(entry["epoch"])] = [
+            len(counts),
+            max(counts) if counts else -1,
+            len(epoch_retransmission_seqs(entry, columns)),
+        ]
+    return {
+        "kind": "service",
+        "last_finalized": payload["last_finalized"],
+        "max_epoch_seen": payload["max_epoch_seen"],
+        "epochs": epochs,
+    }
+
+
+def payload_fingerprint(
+    payload: Dict[str, Any], columns: Optional[CheckpointColumns] = None
+) -> Dict[str, Any]:
+    """A structural fingerprint a delta uses to recognize its base.
+
+    Cheap (per-epoch record counts, highest record seq, consumed-update
+    counts, finalization markers) but strong enough that applying a delta to
+    the wrong base fails loudly instead of merging garbage.
+    """
+    if payload.get("kind") == "sharded":
+        return {
+            "kind": "sharded",
+            "num_shards": payload["num_shards"],
+            "last_finalized": payload["last_finalized"],
+            "max_epoch_seen": payload["max_epoch_seen"],
+            "shards": [
+                _service_fingerprint(shard, columns)
+                for shard in payload["shards"]
+            ],
+        }
+    return _service_fingerprint(payload, columns)
+
+
+#: service-payload keys copied verbatim into deltas / merged checkpoints.
+_SERVICE_CONFIG_KEYS = (
+    "engine",
+    "vote_policy",
+    "attribute_noise_flows",
+    "blame",
+    "retain_reports",
+)
+
+
+def _service_epochs_delta(
+    full: Dict[str, Any],
+    base: Dict[str, Any],
+    base_columns: Optional[CheckpointColumns],
+) -> List[Dict[str, Any]]:
+    """Per-epoch record/update deltas of ``full`` (dict records) vs ``base``."""
+    base_epochs = {entry["epoch"]: entry for entry in base["epochs"]}
+    delta_epochs: List[Dict[str, Any]] = []
+    for entry in full["epochs"]:
+        base_entry = base_epochs.get(entry["epoch"])
+        if base_entry is None:
+            delta_epochs.append(dict(entry))
+            continue
+        base_counts = _epoch_seq_retrans(base_entry, base_columns)
+        # new records, plus records whose retransmission count was bumped
+        # since the base (count updates mutate existing records in place).
+        changed = [
+            rec
+            for rec in entry["records"]
+            if base_counts.get(rec[0], -1) != rec[1]["retransmissions"]
+        ]
+        base_rs = set(epoch_retransmission_seqs(base_entry, base_columns))
+        new_rs = [s for s in entry["retransmission_seqs"] if s not in base_rs]
+        if (
+            not changed
+            and not new_rs
+            and entry["pending_retransmissions"]
+            == base_entry["pending_retransmissions"]
+        ):
+            continue  # untouched since the base — the merge keeps base's copy
+        delta_epochs.append(
+            {
+                "epoch": entry["epoch"],
+                "records": changed,
+                "pending_retransmissions": entry["pending_retransmissions"],
+                "retransmission_seqs": new_rs,
+            }
+        )
+    return delta_epochs
+
+
+def service_payload_delta(
+    full: Dict[str, Any],
+    base: Dict[str, Any],
+    base_columns: Optional[CheckpointColumns] = None,
+) -> Dict[str, Any]:
+    """A delta payload carrying only what changed between ``base`` and ``full``.
+
+    ``full`` must be a freshly built payload with dict records (what
+    ``Zero07Service.checkpoint()`` produces); ``base`` may come from any
+    serialization.
+    """
+    delta = {"version": CHECKPOINT_VERSION, "kind": "service", "delta": True}
+    for key in _SERVICE_CONFIG_KEYS:
+        delta[key] = full[key]
+    delta["base"] = _service_fingerprint(base, base_columns)
+    delta["max_epoch_seen"] = full["max_epoch_seen"]
+    delta["last_finalized"] = full["last_finalized"]
+    delta["stats"] = full["stats"]
+    delta["epochs"] = _service_epochs_delta(full, base, base_columns)
+    return delta
+
+
+def sharded_payload_delta(
+    full: Dict[str, Any],
+    base: Dict[str, Any],
+    base_columns: Optional[CheckpointColumns] = None,
+) -> Dict[str, Any]:
+    """A sharded delta payload: per-shard service deltas + routing-state delta.
+
+    ``full`` must be a freshly built sharded payload with dict records (what
+    ``ShardedService.checkpoint()`` produces); ``base`` may come from any
+    serialization.  Shard-to-host assignment is a pure function of the host
+    name, so the facade's ``flow_shard``/``retrans_seqs`` maps only ever
+    *grow* within an epoch — the delta carries the new entries and the merge
+    rebuilds the rest from the base.
+    """
+    if full.get("kind") != "sharded" or base.get("kind") != "sharded":
+        raise ValueError("sharded_payload_delta needs two sharded payloads")
+    if int(full["num_shards"]) != int(base["num_shards"]) or len(
+        full["shards"]
+    ) != len(base["shards"]):
+        raise ValueError(
+            "delta base has a different shard layout "
+            f"({base['num_shards']} shards vs {full['num_shards']})"
+        )
+    flow_shard: Dict[str, Dict[str, int]] = {}
+    for epoch, flows in full["flow_shard"].items():
+        known = base["flow_shard"].get(epoch)
+        if known is None:
+            flow_shard[epoch] = dict(flows)
+            continue
+        fresh = {flow: shard for flow, shard in flows.items() if flow not in known}
+        if fresh:
+            flow_shard[epoch] = fresh
+    retrans_seqs: Dict[str, List[int]] = {}
+    for epoch, seqs in full["retrans_seqs"].items():
+        known = set(base["retrans_seqs"].get(epoch, ()))
+        fresh = [seq for seq in seqs if seq not in known]
+        if fresh or epoch not in base["retrans_seqs"]:
+            retrans_seqs[epoch] = fresh
+    return {
+        "version": CHECKPOINT_VERSION,
+        "kind": "sharded",
+        "delta": True,
+        "base": payload_fingerprint(base, base_columns),
+        "num_shards": full["num_shards"],
+        "retain_reports": full["retain_reports"],
+        "max_epoch_seen": full["max_epoch_seen"],
+        "last_finalized": full["last_finalized"],
+        "flow_shard": flow_shard,
+        "pending": full["pending"],
+        "retrans_seqs": retrans_seqs,
+        "shards": [
+            service_payload_delta(full_shard, base_shard, base_columns)
+            for full_shard, base_shard in zip(full["shards"], base["shards"])
+        ],
+    }
+
+
+def _merge_service_epochs(
+    base: Dict[str, Any],
+    base_columns: Optional[CheckpointColumns],
+    delta: Dict[str, Any],
+    delta_columns: Optional[CheckpointColumns],
+) -> List[Dict[str, Any]]:
+    last_finalized = delta["last_finalized"]
+    base_epochs = {entry["epoch"]: entry for entry in base["epochs"]}
+    delta_epochs = {entry["epoch"]: entry for entry in delta["epochs"]}
+    merged: List[Dict[str, Any]] = []
+    for epoch in sorted(set(base_epochs) | set(delta_epochs)):
+        if last_finalized is not None and epoch <= last_finalized:
+            continue  # finalized (and released) since the base was taken
+        base_entry = base_epochs.get(epoch)
+        delta_entry = delta_epochs.get(epoch)
+        if delta_entry is None:
+            merged.append(_materialize_entry(base_entry, base_columns))
+            continue
+        if base_entry is None:
+            merged.append(_materialize_entry(delta_entry, delta_columns))
+            continue
+        by_seq = {
+            rec[0]: rec for rec in _epoch_records_as_dicts(base_entry, base_columns)
+        }
+        for rec in _epoch_records_as_dicts(delta_entry, delta_columns):
+            by_seq[rec[0]] = rec  # changed counts replace the base record
+        merged.append(
+            {
+                "epoch": epoch,
+                "records": [by_seq[seq] for seq in sorted(by_seq)],
+                "pending_retransmissions": delta_entry["pending_retransmissions"],
+                "retransmission_seqs": sorted(
+                    set(epoch_retransmission_seqs(base_entry, base_columns))
+                    | set(epoch_retransmission_seqs(delta_entry, delta_columns))
+                ),
+            }
+        )
+    return merged
+
+
+def _merge_service_payload(
+    base: Dict[str, Any],
+    base_columns: Optional[CheckpointColumns],
+    delta: Dict[str, Any],
+    delta_columns: Optional[CheckpointColumns],
+) -> Dict[str, Any]:
+    expected = delta["base"]
+    actual = _service_fingerprint(base, base_columns)
+    if expected != actual:
+        raise ValueError(
+            "delta checkpoint does not match this base (fingerprint mismatch: "
+            f"expected {expected}, base is {actual})"
+        )
+    merged: Dict[str, Any] = {"version": CHECKPOINT_VERSION, "kind": "service"}
+    for key in _SERVICE_CONFIG_KEYS:
+        merged[key] = delta[key]
+    merged["max_epoch_seen"] = delta["max_epoch_seen"]
+    merged["last_finalized"] = delta["last_finalized"]
+    merged["stats"] = delta["stats"]
+    merged["epochs"] = _merge_service_epochs(
+        base, base_columns, delta, delta_columns
+    )
+    return merged
+
+
+# ----------------------------------------------------------------------
+# the checkpoint object
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Checkpoint:
-    """A frozen snapshot of a service's resumable analysis state."""
+    """A frozen snapshot of a service's resumable analysis state.
+
+    ``payload`` is the JSON-shaped state; ``columns`` is only present on
+    checkpoints loaded from the binary container and holds the decoded record
+    columns the payload's ``{"__columns__": ...}`` markers point into.
+    """
 
     payload: Dict[str, Any]
+    columns: Optional[CheckpointColumns] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def kind(self) -> str:
@@ -63,31 +598,229 @@ class Checkpoint:
         """The payload schema version the checkpoint was written with."""
         return int(self.payload.get("version", 0))
 
+    @property
+    def is_delta(self) -> bool:
+        """Whether this is a delta (apply it to its base before restoring)."""
+        return bool(self.payload.get("delta", False))
+
     def validate(self) -> "Checkpoint":
         """Raise ``ValueError`` when the payload cannot be restored."""
-        if self.version != CHECKPOINT_VERSION:
+        if self.version not in SUPPORTED_CHECKPOINT_VERSIONS:
             raise ValueError(
-                f"checkpoint version {self.version} != supported {CHECKPOINT_VERSION}"
+                f"checkpoint version {self.version} not in supported "
+                f"{SUPPORTED_CHECKPOINT_VERSIONS}"
             )
         if self.kind not in ("service", "sharded"):
             raise ValueError(f"unknown checkpoint kind {self.kind!r}")
         return self
 
+    def apply_delta(self, delta: "Checkpoint") -> "Checkpoint":
+        """Merge a delta taken against this full checkpoint onto it.
+
+        Returns a full checkpoint equal (payload-wise) to the one
+        ``checkpoint()`` would have produced at the delta's capture time.
+        The delta's recorded base fingerprint must match this checkpoint.
+        """
+        self.validate()
+        delta.validate()
+        if not delta.is_delta:
+            raise ValueError("apply_delta needs a delta checkpoint")
+        if self.is_delta:
+            raise ValueError(
+                "the base of apply_delta must be a full checkpoint, not a delta"
+            )
+        if delta.kind != self.kind:
+            raise ValueError(
+                f"delta kind {delta.kind!r} does not match base kind {self.kind!r}"
+            )
+        if self.kind == "service":
+            return Checkpoint(
+                payload=_merge_service_payload(
+                    self.payload, self.columns, delta.payload, delta.columns
+                )
+            )
+        base, patch = self.payload, delta.payload
+        expected = patch["base"]
+        actual = payload_fingerprint(base, self.columns)
+        if expected != actual:
+            raise ValueError(
+                "delta checkpoint does not match this base (fingerprint "
+                f"mismatch: expected {expected}, base is {actual})"
+            )
+        last_finalized = patch["last_finalized"]
+
+        def keep(epoch_key: str) -> bool:
+            return last_finalized is None or int(epoch_key) > last_finalized
+
+        flow_shard = {
+            epoch: dict(flows)
+            for epoch, flows in base["flow_shard"].items()
+            if keep(epoch)
+        }
+        for epoch, flows in patch["flow_shard"].items():
+            flow_shard.setdefault(epoch, {}).update(flows)
+        retrans_seqs = {
+            epoch: list(seqs)
+            for epoch, seqs in base["retrans_seqs"].items()
+            if keep(epoch)
+        }
+        for epoch, seqs in patch["retrans_seqs"].items():
+            retrans_seqs[epoch] = sorted(
+                set(retrans_seqs.get(epoch, ())) | set(seqs)
+            )
+        merged: Dict[str, Any] = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "sharded",
+            "num_shards": patch["num_shards"],
+            "retain_reports": patch["retain_reports"],
+            "max_epoch_seen": patch["max_epoch_seen"],
+            "last_finalized": patch["last_finalized"],
+            "flow_shard": flow_shard,
+            "pending": patch["pending"],
+            "retrans_seqs": retrans_seqs,
+            "shards": [
+                _merge_service_payload(
+                    base_shard, self.columns, delta_shard, delta.columns
+                )
+                for base_shard, delta_shard in zip(base["shards"], patch["shards"])
+            ],
+        }
+        return Checkpoint(payload=merged)
+
     # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def materialize(self) -> "Checkpoint":
+        """A checkpoint whose payload is pure JSON primitives (no columns)."""
+        if self.columns is None:
+            return self
+        payload = dict(self.payload)
+        if self.kind == "sharded":
+            payload["shards"] = [
+                {
+                    **shard,
+                    "epochs": [
+                        _materialize_entry(entry, self.columns)
+                        for entry in shard["epochs"]
+                    ],
+                }
+                for shard in payload["shards"]
+            ]
+        else:
+            payload["epochs"] = [
+                _materialize_entry(entry, self.columns)
+                for entry in payload["epochs"]
+            ]
+        return Checkpoint(payload=payload)
+
     def to_json(self, indent: int | None = None) -> str:
         """The checkpoint as a JSON document (round-trips exactly)."""
-        return json.dumps(self.payload, indent=indent, sort_keys=True)
+        return json.dumps(
+            self.materialize().payload, indent=indent, sort_keys=True
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "Checkpoint":
         """Parse a checkpoint from :meth:`to_json` output."""
         return cls(payload=json.loads(text)).validate()
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the checkpoint to ``path`` as indented JSON."""
-        Path(path).write_text(self.to_json(indent=2) + "\n")
+    def to_bytes(self) -> bytes:
+        """The checkpoint in the compact binary container format."""
+        source = self.materialize().payload
+        arrays: Dict[str, np.ndarray] = {}
+        names = _Interner()
+        links = _Interner()
+        payload = dict(source)
+        sections = []
+        if self.kind == "sharded":
+            payload["shards"] = [dict(shard) for shard in payload["shards"]]
+            sections = [
+                (f"s{i}", shard) for i, shard in enumerate(payload["shards"])
+            ]
+        else:
+            sections = [("", payload)]
+        for section_prefix, section in sections:
+            entries = []
+            for j, entry in enumerate(section["epochs"]):
+                prefix = f"{section_prefix}e{j}"
+                out = dict(entry)
+                out["records"] = _encode_records(
+                    entry["records"], prefix, arrays, names, links
+                )
+                arrays[f"{prefix}_rs"] = np.asarray(
+                    entry["retransmission_seqs"], dtype=np.int64
+                )
+                out["retransmission_seqs"] = {"__columns__": prefix}
+                entries.append(out)
+            section["epochs"] = entries
+        header = {
+            "payload": payload,
+            "tables": {"names": names.items, "links": links.items},
+        }
+        header_blob = zlib.compress(
+            json.dumps(header, sort_keys=True).encode("utf-8")
+        )
+        body = io.BytesIO()
+        np.savez_compressed(body, **arrays)
+        return (
+            _CONTAINER_HEADER.pack(
+                CHECKPOINT_MAGIC, _CONTAINER_VERSION, len(header_blob)
+            )
+            + header_blob
+            + body.getvalue()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        """Parse a checkpoint from :meth:`to_bytes` output."""
+        if len(data) < _CONTAINER_HEADER.size or not data.startswith(
+            CHECKPOINT_MAGIC
+        ):
+            raise ValueError("not a binary checkpoint (bad magic)")
+        _, container_version, header_len = _CONTAINER_HEADER.unpack_from(data)
+        if container_version != _CONTAINER_VERSION:
+            raise ValueError(
+                f"unsupported binary checkpoint container v{container_version}"
+            )
+        header_end = _CONTAINER_HEADER.size + header_len
+        header = json.loads(zlib.decompress(data[_CONTAINER_HEADER.size : header_end]))
+        with np.load(io.BytesIO(data[header_end:]), allow_pickle=False) as blob:
+            arrays = {name: blob[name] for name in blob.files}
+        columns = CheckpointColumns(
+            arrays=arrays,
+            names=header["tables"]["names"],
+            links=[link_from_str(text) for text in header["tables"]["links"]],
+        )
+        return cls(payload=header["payload"], columns=columns).validate()
+
+    def save(self, path: Union[str, Path], format: str = "binary") -> None:
+        """Write the checkpoint to ``path`` atomically.
+
+        ``format="binary"`` (default) writes the compact container;
+        ``format="json"`` writes indented JSON.  Either way the bytes land in
+        a temp file first and are moved into place with ``os.replace``, so a
+        crash mid-write can never leave a truncated checkpoint behind — the
+        previous file (if any) survives intact.
+        """
+        if format == "json":
+            data = (self.to_json(indent=2) + "\n").encode("utf-8")
+        elif format == "binary":
+            data = self.to_bytes()
+        else:
+            raise ValueError(f"unknown checkpoint format {format!r}")
+        target = Path(path)
+        tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Checkpoint":
-        """Read a checkpoint previously written with :meth:`save`."""
-        return cls.from_json(Path(path).read_text())
+        """Read a checkpoint previously written with :meth:`save` (any format)."""
+        data = Path(path).read_bytes()
+        if data.startswith(CHECKPOINT_MAGIC):
+            return cls.from_bytes(data)
+        return cls.from_json(data.decode("utf-8"))

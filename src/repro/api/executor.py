@@ -125,8 +125,15 @@ class ShardExecutor:
         """Per-shard checkpoint payloads, in shard order."""
         raise NotImplementedError
 
-    def restore_shards(self, payloads: Sequence[Dict[str, Any]]) -> None:
-        """Rebuild every shard service from its checkpoint payload."""
+    def restore_shards(
+        self, payloads: Sequence[Dict[str, Any]], columns=None
+    ) -> None:
+        """Rebuild every shard service from its checkpoint payload.
+
+        ``columns`` is the :class:`~repro.api.checkpoint.CheckpointColumns`
+        of a binary checkpoint (``None`` for JSON payloads); shard payloads
+        carry column markers into it.
+        """
         raise NotImplementedError
 
     def shard_service(self, index: int):
@@ -194,12 +201,12 @@ class InlineExecutor(ShardExecutor):
     def checkpoint_shards(self):
         return [shard.checkpoint().payload for shard in self._shards]
 
-    def restore_shards(self, payloads):
+    def restore_shards(self, payloads, columns=None):
         from repro.api.checkpoint import Checkpoint
         from repro.api.service import Zero07Service
 
         self._shards = [
-            Zero07Service.restore(Checkpoint(payload=payload))
+            Zero07Service.restore(Checkpoint(payload=payload, columns=columns))
             for payload in payloads
         ]
 
@@ -347,9 +354,10 @@ def _worker_main(conn, shard_ids: List[int], service_config: Dict[str, Any]) -> 
                         )
                     )
                 elif name == "restore":
+                    columns = command[2] if len(command) > 2 else None
                     services = {
                         shard: Zero07Service.restore(
-                            Checkpoint(payload=payload)
+                            Checkpoint(payload=payload, columns=columns)
                         )
                         for shard, payload in command[1].items()
                     }
@@ -424,6 +432,14 @@ class ProcessExecutor(ShardExecutor):
         self._store = store
         self._closed = False
         self._error: Optional[BaseException] = None
+        self._service_config = dict(service_config)
+        self._link_index = link_index
+        self._spawn()
+
+    def _spawn(self) -> None:
+        """Fork the worker fleet and start the pipeline lanes."""
+        import multiprocessing
+
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -431,12 +447,14 @@ class ProcessExecutor(ShardExecutor):
 
         self._conns = []
         self._processes = []
-        for worker in range(workers):
+        for worker in range(self.workers):
             parent_conn, child_conn = context.Pipe(duplex=True)
-            shard_ids = [s for s in range(num_shards) if s % workers == worker]
+            shard_ids = [
+                s for s in range(self.num_shards) if s % self.workers == worker
+            ]
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, shard_ids, dict(service_config)),
+                args=(child_conn, shard_ids, dict(self._service_config)),
                 name=f"repro-shard-worker-{worker}",
                 daemon=True,
             )
@@ -444,7 +462,12 @@ class ProcessExecutor(ShardExecutor):
             child_conn.close()
             self._conns.append(parent_conn)
             self._processes.append(process)
-        self._encoder = WireEncoder(streams=workers, link_index=link_index)
+        self._encoder = WireEncoder(
+            streams=self.workers, link_index=self._link_index
+        )
+        # a respawn must keep interning into the same table the facade's
+        # merge path shares, even when the executor was built without one.
+        self._link_index = self._encoder.link_index
         # lanes start only after every fork: forking a process that already
         # runs threads is where orphaned locks come from.
         self._wire = _Lane("repro-wire-lane", self._process_wire_job, self._latch)
@@ -454,6 +477,32 @@ class ProcessExecutor(ShardExecutor):
         self._finalizer = weakref.finalize(
             self, _terminate_processes, list(self._processes)
         )
+
+    def _pipeline_dead(self) -> bool:
+        """Whether the transport can no longer deliver work."""
+        return self._error is not None or any(
+            not process.is_alive() for process in self._processes
+        )
+
+    def _respawn(self) -> None:
+        """Tear down a dead pipeline and fork a fresh worker fleet.
+
+        Used by :meth:`restore_shards`: a restore overwrites every shard's
+        state anyway, so nothing of the dead fleet is worth salvaging — the
+        lanes (which exit after latching an error), the pipes and the worker
+        processes are all replaced and the error latch is cleared.
+        """
+        self._lane.stop()
+        self._wire.stop()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        _terminate_processes(self._processes)
+        self._finalizer.detach()
+        self._error = None
+        self._spawn()
 
     # ------------------------------------------------------------------
     def _worker_of(self, shard: int) -> int:
@@ -661,8 +710,14 @@ class ProcessExecutor(ShardExecutor):
             payloads.update(by_shard)
         return [payloads[shard] for shard in range(self.num_shards)]
 
-    def restore_shards(self, payloads):
-        self._check_open()
+    def restore_shards(self, payloads, columns=None):
+        if self._closed:
+            raise ShardExecutorError("executor is closed")
+        if self._pipeline_dead():
+            # a restore replaces every shard's state, so a fleet that already
+            # failed (latched transport error, killed worker) is respawned
+            # instead of latching the restore into the dead pipeline.
+            self._respawn()
         frames = []
         for worker in range(self.workers):
             by_shard = {
@@ -675,7 +730,8 @@ class ProcessExecutor(ShardExecutor):
                     worker,
                     _OP_CONTROL
                     + pickle.dumps(
-                        ("restore", by_shard), protocol=pickle.HIGHEST_PROTOCOL
+                        ("restore", by_shard, columns),
+                        protocol=pickle.HIGHEST_PROTOCOL,
                     ),
                 )
             )

@@ -53,6 +53,10 @@ from repro.api.checkpoint import (
     Checkpoint,
     blame_from_dict,
     blame_to_dict,
+    epoch_records,
+    epoch_retransmission_seqs,
+    gc_paused,
+    service_payload_delta,
 )
 from repro.api.events import (
     EpochTick,
@@ -60,7 +64,6 @@ from repro.api.events import (
     PathEvidence,
     RetransmissionEvidence,
     copy_path,
-    path_from_dict,
     path_to_dict,
 )
 from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
@@ -68,6 +71,31 @@ from repro.core.arrays import ArrayVoteTally, LinkIndex
 from repro.core.blame import BlameConfig
 from repro.core.votes import VotePolicy, VoteTally
 from repro.discovery.agent import DiscoveredPath
+
+
+class ReportUnavailableError(KeyError):
+    """``report(epoch)`` was asked for a finalized epoch outside retention.
+
+    The epoch was already finalized (its sinks saw the report at tick time)
+    and its cached report has since been evicted by the ``retain_reports``
+    window — the service no longer holds the evidence to re-materialize it.
+    The attributes name the epoch, the service's finalization progress and
+    the retention window, so callers can size ``retain_reports`` or fall
+    back to their report log.
+    """
+
+    def __init__(
+        self, epoch: int, last_finalized: int, retain_reports: int
+    ) -> None:
+        super().__init__(
+            f"epoch {epoch} is closed (last finalized epoch {last_finalized}) "
+            f"and its report left the retention window "
+            f"(retain_reports={retain_reports} keeps only the most recent "
+            "finalized reports)"
+        )
+        self.epoch = epoch
+        self.last_finalized = last_finalized
+        self.retain_reports = retain_reports
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +187,9 @@ class _EpochState:
         "last_seq",
         "max_seq",
         "pending_retransmissions",
+        "mutations",
+        "cached_report",
+        "cached_at",
     )
 
     def __init__(self, tally) -> None:
@@ -193,6 +224,15 @@ class _EpochState:
         self.max_seq = -1
         #: retransmission updates that arrived before their flow's path.
         self.pending_retransmissions: Dict[int, int] = {}
+        #: change watermark: bumped by every ingest that can alter a report
+        #: (new paths, applied count updates, dirty rebuilds).  The epoch's
+        #: materialized view — the last mid-epoch report — is cached together
+        #: with the watermark it was computed at, so a query that lands with
+        #: no rows touched since the previous query returns the cached report
+        #: outright instead of re-running the analysis.
+        self.mutations = 0
+        self.cached_report: Optional[EpochReport] = None
+        self.cached_at = -1
 
     def flow_path(self) -> Dict[int, DiscoveredPath]:
         """``by_flow``, folded forward over the records not yet reflected.
@@ -516,6 +556,7 @@ class Zero07Service:
                 self.stats.out_of_order_events += 1
             state.dirty = True
             state.last_seq = max(state.last_seq, event.seq)
+        state.mutations += 1
         self.stats.paths_ingested += 1
 
     def _ingest_retransmission(self, event: RetransmissionEvidence) -> None:
@@ -542,6 +583,7 @@ class Zero07Service:
             path.retransmissions += event.retransmissions
             if not state.dirty:
                 state.tally.bump_retransmissions(event.flow_id, event.retransmissions)
+            state.mutations += 1
         self.stats.retransmission_updates += 1
 
     # ------------------------------------------------------------------
@@ -646,6 +688,7 @@ class Zero07Service:
             state.rec_paths.extend(paths)
             state.tally.add_flows(paths)
             state.last_seq = path_seqs[-1]
+            state.mutations += 1
             self.stats.paths_ingested += len(paths)
 
         if updates:
@@ -683,6 +726,8 @@ class Zero07Service:
             for row, extra in zip(rows, extras):
                 rec_paths[row].retransmissions += extra
             state.tally.bump_rows(rows, extras)
+            if rows:
+                state.mutations += 1
             state.retransmission_seqs.update(
                 map(operator.attrgetter("seq"), updates)
             )
@@ -741,8 +786,11 @@ class Zero07Service:
             self._rebuild_if_dirty(state)
             # Mid-epoch reports snapshot the tally so later ingests cannot
             # mutate an already-returned report; the final report owns the
-            # live tally (no copy) since the epoch's state is dropped.
-            tally = state.tally if final else state.tally.copy()
+            # live tally (no copy) since the epoch's state is dropped.  A
+            # snapshot shares the tally's append-only buffers instead of
+            # deep-copying them, which is what keeps repeated mid-epoch
+            # queries O(changed rows), not O(epoch).
+            tally = state.tally if final else state.tally.snapshot()
             paths = list(state.rec_paths)
         self.stats.reports_materialized += 1
         return self._agent.analyze_tally(epoch, tally, paths)
@@ -753,8 +801,13 @@ class Zero07Service:
         ``epoch=None`` reports on the most advanced epoch seen so far.  For a
         finalized epoch the cached final report is returned; for an open (or
         empty) epoch a fresh report is materialized from the evidence ingested
-        *so far* — the mid-epoch "which link is bad right now" query.  Raises
-        ``KeyError`` for finalized epochs evicted from the retention window.
+        *so far* — the mid-epoch "which link is bad right now" query.  Open
+        epochs keep their last mid-epoch report as a materialized view: a
+        query that finds no rows touched since the previous query (tracked by
+        a per-epoch change watermark) returns the cached report in O(1), so
+        polling an idle epoch costs microseconds, not an analysis run.
+        Raises :class:`ReportUnavailableError` (a ``KeyError``) for finalized
+        epochs evicted from the retention window.
         """
         if epoch is None:
             epoch = self._max_epoch_seen if self._max_epoch_seen is not None else 0
@@ -770,12 +823,23 @@ class Zero07Service:
         if epoch in self._final_reports:
             return self._final_reports[epoch]
         if self._last_finalized is not None and epoch <= self._last_finalized:
-            raise KeyError(
-                f"epoch {epoch} is closed (last finalized epoch "
-                f"{self._last_finalized}) and no retained report exists "
-                f"(retain_reports={self._retain_reports})"
+            raise ReportUnavailableError(
+                epoch, self._last_finalized, self._retain_reports
             )
-        return self._materialize(epoch, self._epochs.get(epoch), final=False)
+        state = self._epochs.get(epoch)
+        if (
+            state is not None
+            and state.cached_report is not None
+            and state.cached_at == state.mutations
+        ):
+            # the materialized view: no rows were touched since the previous
+            # query, so the previous query's report *is* the current report.
+            return state.cached_report
+        report = self._materialize(epoch, state, final=False)
+        if state is not None:
+            state.cached_report = report
+            state.cached_at = state.mutations
+        return report
 
     def _finalize(self, epoch: int) -> EpochReport:
         state = self._epochs.pop(epoch, None)
@@ -803,8 +867,17 @@ class Zero07Service:
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
-    def checkpoint(self) -> Checkpoint:
-        """Snapshot the resumable analysis state (see :class:`Checkpoint`)."""
+    def checkpoint(self, base: Optional[Checkpoint] = None) -> Checkpoint:
+        """Snapshot the resumable analysis state (see :class:`Checkpoint`).
+
+        With ``base`` — a *full* service checkpoint taken earlier from this
+        same stream — the result is a **delta** checkpoint carrying only the
+        evidence that arrived since the base (new records, records whose
+        retransmission counts changed, newly consumed update seqs) plus the
+        current counters.  Apply it with ``base.apply_delta(delta)`` before
+        restoring.  Without ``base`` the checkpoint is full and directly
+        restorable.
+        """
         epochs = []
         for epoch in sorted(self._epochs):
             state = self._epochs[epoch]
@@ -838,7 +911,63 @@ class Zero07Service:
             "stats": self.stats.as_dict(),
             "epochs": epochs,
         }
-        return Checkpoint(payload=payload)
+        if base is None:
+            return Checkpoint(payload=payload)
+        base.validate()
+        if base.is_delta:
+            raise ValueError(
+                "the base of a delta checkpoint must be a full checkpoint"
+            )
+        if base.kind != "service":
+            raise ValueError(
+                f"base checkpoint kind {base.kind!r} does not match 'service'"
+            )
+        return Checkpoint(
+            payload=service_payload_delta(payload, base.payload, base.columns)
+        )
+
+    def _seed_epoch(
+        self,
+        epoch: int,
+        seqs: List[int],
+        paths: List[DiscoveredPath],
+        pending: Dict[int, int],
+        retrans_seqs: List[int],
+    ) -> None:
+        """Seed one open epoch's state straight from checkpoint records.
+
+        Checkpoints store an epoch's records already sorted by (unique)
+        sequence number, so the incremental tally can be folded with one bulk
+        ``add_flows`` pass — state-identical to replaying every record through
+        :meth:`ingest` (same fold order, same floats), at a fraction of the
+        cost.  The caller owns ``seqs``/``paths``: they are adopted, not
+        copied, so pass freshly decoded objects.
+        """
+        self._seen_epoch(epoch)
+        state = self._state(epoch)
+        state.rec_seqs = seqs
+        state.rec_paths = paths
+        state.seqs = set(seqs)
+        if seqs:
+            state.tally.add_flows(paths)
+            state.last_seq = seqs[-1]
+            state.max_seq = seqs[-1]
+        self.stats.paths_ingested += len(paths)
+        for flow_id, extra in pending.items():
+            # mirror _ingest_retransmission for a seq-less buffered update
+            path = state.flow_path().get(flow_id)
+            if path is None:
+                state.pending_retransmissions[flow_id] = (
+                    state.pending_retransmissions.get(flow_id, 0) + extra
+                )
+            else:
+                path.retransmissions += extra
+                state.tally.bump_retransmissions(flow_id, extra)
+            self.stats.retransmission_updates += 1
+        if retrans_seqs:
+            state.retransmission_seqs.update(retrans_seqs)
+            state.seqs.update(retrans_seqs)
+            state.max_seq = max(state.max_seq, max(retrans_seqs))
 
     @classmethod
     def restore(
@@ -849,12 +978,20 @@ class Zero07Service:
     ) -> "Zero07Service":
         """Rebuild a service from a :class:`Checkpoint`.
 
-        The open epochs' evidence is replayed in sequence order, so every
+        The open epochs' evidence is re-folded in sequence order, so every
         subsequent :meth:`report` is bit-identical to what the checkpointed
-        service would have produced.  Sinks are not serialized — pass the ones
-        the resumed service should notify.
+        service would have produced.  Works for both serializations (v1 JSON
+        and v2 binary); delta checkpoints must be applied to their base
+        first.  Sinks are not serialized — pass the ones the resumed service
+        should notify.
         """
-        payload = checkpoint.validate().payload
+        checkpoint.validate()
+        if checkpoint.is_delta:
+            raise ValueError(
+                "cannot restore a delta checkpoint directly; merge it onto "
+                "its full base first with base.apply_delta(delta)"
+            )
+        payload = checkpoint.payload
         if payload.get("kind") != "service":
             raise ValueError(f"not a service checkpoint: kind={payload.get('kind')!r}")
         service = cls(
@@ -866,26 +1003,21 @@ class Zero07Service:
             retain_reports=int(payload["retain_reports"]),
             link_index=link_index,
         )
-        for epoch_data in payload["epochs"]:
-            epoch = int(epoch_data["epoch"])
-            for seq, path_data in epoch_data["records"]:
-                service.ingest(
-                    PathEvidence(
-                        epoch=epoch, seq=int(seq), path=path_from_dict(path_data)
-                    )
+        with gc_paused():
+            for epoch_data in payload["epochs"]:
+                seqs, paths = epoch_records(epoch_data, checkpoint.columns)
+                service._seed_epoch(
+                    int(epoch_data["epoch"]),
+                    seqs,
+                    paths,
+                    {
+                        int(flow): int(count)
+                        for flow, count in epoch_data[
+                            "pending_retransmissions"
+                        ].items()
+                    },
+                    epoch_retransmission_seqs(epoch_data, checkpoint.columns),
                 )
-            for flow, count in epoch_data["pending_retransmissions"].items():
-                service.ingest(
-                    RetransmissionEvidence(
-                        epoch=epoch, flow_id=int(flow), retransmissions=int(count)
-                    )
-                )
-            retrans_seqs = epoch_data.get("retransmission_seqs", [])
-            if retrans_seqs:
-                state = service._state(epoch)
-                state.retransmission_seqs.update(int(s) for s in retrans_seqs)
-                state.seqs.update(int(s) for s in retrans_seqs)
-                state.max_seq = max(state.max_seq, max(int(s) for s in retrans_seqs))
         service._max_epoch_seen = (
             int(payload["max_epoch_seen"])
             if payload["max_epoch_seen"] is not None

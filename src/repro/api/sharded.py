@@ -44,7 +44,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.checkpoint import CHECKPOINT_VERSION, Checkpoint
+from repro.api.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    sharded_payload_delta,
+)
 from repro.api.events import (
     EpochTick,
     Evidence,
@@ -57,7 +61,12 @@ from repro.api.executor import (
     ShardExecutor,
     ShardExecutorError,
 )
-from repro.api.service import ReportSink, Zero07Service, iter_evidence_runs
+from repro.api.service import (
+    ReportSink,
+    ReportUnavailableError,
+    Zero07Service,
+    iter_evidence_runs,
+)
 from repro.api.wire import EvidenceColumnStore
 from repro.core.analysis import AnalysisAgent, EngineKind, EpochReport
 from repro.core.arrays import ItemIndex, LinkIndex
@@ -622,10 +631,8 @@ class ShardedService:
         if epoch in self._final_reports:
             return self._final_reports[epoch]
         if self._is_late(epoch):
-            raise KeyError(
-                f"epoch {epoch} is closed (last finalized epoch "
-                f"{self._last_finalized}) and no retained report exists "
-                f"(retain_reports={self._retain_reports})"
+            raise ReportUnavailableError(
+                epoch, self._last_finalized, self._retain_reports
             )
         return self._merged_report(epoch)
 
@@ -672,12 +679,16 @@ class ShardedService:
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
-    def checkpoint(self) -> Checkpoint:
+    def checkpoint(self, base: Optional[Checkpoint] = None) -> Checkpoint:
         """Snapshot the whole fleet (every shard plus the routing state).
 
         The payload is backend-agnostic — the process executor gathers its
         workers' shard states into exactly the structure the inline backend
-        writes, so checkpoints restore across backends.
+        writes, so checkpoints restore across backends.  With ``base`` — a
+        *full* sharded checkpoint taken earlier from this same fleet — the
+        result is a **delta** checkpoint carrying only the evidence and
+        routing state that changed since the base; apply it with
+        ``base.apply_delta(delta)`` before restoring.
         """
         payload: Dict[str, Any] = {
             "version": CHECKPOINT_VERSION,
@@ -700,7 +711,20 @@ class ShardedService:
             },
             "shards": self._executor.checkpoint_shards(),
         }
-        return Checkpoint(payload=payload)
+        if base is None:
+            return Checkpoint(payload=payload)
+        base.validate()
+        if base.is_delta:
+            raise ValueError(
+                "the base of a delta checkpoint must be a full checkpoint"
+            )
+        if base.kind != "sharded":
+            raise ValueError(
+                f"base checkpoint kind {base.kind!r} does not match 'sharded'"
+            )
+        return Checkpoint(
+            payload=sharded_payload_delta(payload, base.payload, base.columns)
+        )
 
     @classmethod
     def restore(
@@ -713,9 +737,16 @@ class ShardedService:
         """Rebuild a sharded fleet from a :class:`Checkpoint`.
 
         ``backend``/``workers`` choose the execution strategy of the restored
-        fleet independently of the one that took the checkpoint.
+        fleet independently of the one that took the checkpoint.  Works for
+        both serializations (v1 JSON and v2 binary); delta checkpoints must
+        be applied to their base first.
         """
         payload = checkpoint.validate().payload
+        if checkpoint.is_delta:
+            raise ValueError(
+                "cannot restore a delta checkpoint directly; merge it onto "
+                "its full base first with base.apply_delta(delta)"
+            )
         if payload.get("kind") != "sharded":
             raise ValueError(f"not a sharded checkpoint: kind={payload.get('kind')!r}")
         shard_payloads = payload["shards"]
@@ -733,7 +764,7 @@ class ShardedService:
             backend=backend,
             workers=workers,
         )
-        fleet._executor.restore_shards(shard_payloads)
+        fleet._executor.restore_shards(shard_payloads, checkpoint.columns)
         fleet._flow_shard = {
             int(epoch): {int(flow): int(shard) for flow, shard in flows.items()}
             for epoch, flows in payload["flow_shard"].items()

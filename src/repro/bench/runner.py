@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.api.checkpoint import Checkpoint
 from repro.api.events import EpochTick, PathEvidence
 from repro.api.service import Zero07Service
 from repro.api.sharded import ShardedService
@@ -68,8 +69,12 @@ class BenchConfig:
     #: mostly measure the slow path we are replacing); ``None`` picks
     #: ``min(events, 250_000)``.
     baseline_events: Optional[int] = None
-    #: mid-epoch ``report()`` queries issued per epoch.
-    report_queries: int = 2
+    #: mid-epoch ``report()`` queries issued per epoch cut.  The first query
+    #: after new evidence is *cold* (the materialized view recomputes); the
+    #: follow-ups hit the cached view — the document records both, cold
+    #: separately (``cold_mean_seconds``/``cold_max_seconds``) and all
+    #: queries together (``p50_seconds`` etc.).
+    report_queries: int = 4
     #: measure checkpoint save/restore on the final epoch's half-ingested state.
     checkpoint: bool = True
     #: scripted failure timeline biasing the workload ("none"/"flap"/"burst").
@@ -220,6 +225,7 @@ def _measure_run(
     ingest_events = 0
     finalize_seconds = 0.0
     latencies: List[float] = []
+    cold_latencies: List[float] = []
     epochs_out: List[Dict[str, Any]] = []
     checkpoint_out: Optional[Dict[str, Any]] = None
 
@@ -230,23 +236,41 @@ def _measure_run(
             events = generator.epoch_events(epoch, tick=False)
             paths = sum(1 for e in events if type(e) is PathEvidence)
             half = len(events) // 2
-
-            start = time.perf_counter()
-            service.ingest_batch(events[:half], owned=True)
-            ingest_seconds += time.perf_counter() - start
-
-            for _ in range(max(0, config.report_queries)):
-                start = time.perf_counter()
-                service.report(epoch)
-                latencies.append(time.perf_counter() - start)
-
-            if (
+            measure_checkpoint = (
                 config.checkpoint
                 and checkpoint_out is None
                 and epoch == config.epochs - 1
-            ):
+            )
+
+            delta_base: Optional[Checkpoint] = None
+            if measure_checkpoint:
+                # Split the first half so a full base checkpoint exists at
+                # the quarter mark — the delta measured below then carries
+                # only the records that arrived after it (untimed capture).
+                quarter = half // 2
+                start = time.perf_counter()
+                service.ingest_batch(events[:quarter], owned=True)
+                ingest_seconds += time.perf_counter() - start
+                delta_base = service.checkpoint()
+                start = time.perf_counter()
+                service.ingest_batch(events[quarter:half], owned=True)
+                ingest_seconds += time.perf_counter() - start
+            else:
+                start = time.perf_counter()
+                service.ingest_batch(events[:half], owned=True)
+                ingest_seconds += time.perf_counter() - start
+
+            for query in range(max(0, config.report_queries)):
+                start = time.perf_counter()
+                service.report(epoch)
+                elapsed = time.perf_counter() - start
+                latencies.append(elapsed)
+                if query == 0:
+                    cold_latencies.append(elapsed)
+
+            if measure_checkpoint:
                 checkpoint_out = _measure_checkpoint(
-                    service, num_shards, epoch, backend, workers
+                    service, num_shards, epoch, backend, workers, delta_base
                 )
 
             start = time.perf_counter()
@@ -295,6 +319,10 @@ def _measure_run(
             "mean_seconds": statistics.fmean(latencies) if latencies else 0.0,
             "p50_seconds": statistics.median(latencies) if latencies else 0.0,
             "max_seconds": max(latencies) if latencies else 0.0,
+            "cold_mean_seconds": statistics.fmean(cold_latencies)
+            if cold_latencies
+            else 0.0,
+            "cold_max_seconds": max(cold_latencies) if cold_latencies else 0.0,
         }
         if latencies
         else None,
@@ -306,42 +334,106 @@ def _measure_run(
     return run
 
 
+def _as_v1_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Rewrite a JSON payload's version fields to 1 (a v1-era checkpoint).
+
+    The version-1 on-disk format *is* the JSON body — version 2 only added
+    the binary container and delta payloads around it — so a full v2 JSON
+    payload with the version fields rewritten is byte-for-byte what a v1
+    writer would have produced.
+    """
+    payload["version"] = 1
+    for shard in payload.get("shards", ()):
+        shard["version"] = 1
+    return payload
+
+
 def _measure_checkpoint(
     service,
     num_shards: int,
     epoch: int,
     backend: str = "inline",
     workers: Optional[int] = None,
+    delta_base: Optional[Checkpoint] = None,
 ) -> Dict[str, Any]:
-    """Checkpoint save/restore cost on the service's current (mid-epoch) state."""
+    """Checkpoint save/restore cost on the service's current (mid-epoch) state.
+
+    Measures the binary container as the primary format (``save_seconds`` /
+    ``restore_seconds`` / ``binary_bytes``), the JSON text path for
+    comparison, a version-1 compatibility restore, and — when ``delta_base``
+    is given — the delta-checkpoint path (save a delta against the base,
+    merge it back, restore the merge).  Every restored service's mid-epoch
+    report is compared bit-for-bit against the live one.
+    """
+
+    def _restore(checkpoint: Checkpoint):
+        if num_shards == 1:
+            return Zero07Service.restore(checkpoint)
+        return ShardedService.restore(checkpoint, backend=backend, workers=workers)
+
+    expected = report_signature(service.report(epoch))
+
     start = time.perf_counter()
     checkpoint = service.checkpoint()
+    capture_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    blob = checkpoint.to_bytes()
+    save_seconds = capture_seconds + time.perf_counter() - start
+
+    start = time.perf_counter()
     text = checkpoint.to_json()
-    save_seconds = time.perf_counter() - start
+    json_save_seconds = capture_seconds + time.perf_counter() - start
 
-    from repro.api.checkpoint import Checkpoint
-
-    if num_shards == 1:
-        start = time.perf_counter()
-        restored = Zero07Service.restore(Checkpoint.from_json(text))
-        restore_seconds = time.perf_counter() - start
-    else:
-        start = time.perf_counter()
-        restored = ShardedService.restore(
-            Checkpoint.from_json(text), backend=backend, workers=workers
-        )
-        restore_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = _restore(Checkpoint.from_bytes(blob))
+    restore_seconds = time.perf_counter() - start
     try:
-        identical = report_signature(restored.report(epoch)) == report_signature(
-            service.report(epoch)
-        )
+        identical = report_signature(restored.report(epoch)) == expected
     finally:
         _close_service(restored)
+
+    start = time.perf_counter()
+    restored = _restore(Checkpoint.from_json(text))
+    json_restore_seconds = time.perf_counter() - start
+    _close_service(restored)
+
+    v1 = _restore(Checkpoint(payload=_as_v1_payload(json.loads(text))))
+    try:
+        v1_identical = report_signature(v1.report(epoch)) == expected
+    finally:
+        _close_service(v1)
+
+    # Delta path: against a base checkpoint from earlier in the epoch the
+    # delta carries only the records ingested since; merging it back onto the
+    # base must reproduce the live service exactly.
+    base = delta_base if delta_base is not None else checkpoint
+    start = time.perf_counter()
+    delta_blob = service.checkpoint(base=base).to_bytes()
+    delta_save_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    merged = base.apply_delta(Checkpoint.from_bytes(delta_blob))
+    restored = _restore(merged)
+    delta_restore_seconds = time.perf_counter() - start
+    try:
+        delta_identical = report_signature(restored.report(epoch)) == expected
+    finally:
+        _close_service(restored)
+
     return {
         "save_seconds": save_seconds,
         "restore_seconds": restore_seconds,
+        "binary_bytes": len(blob),
+        "json_save_seconds": json_save_seconds,
+        "json_restore_seconds": json_restore_seconds,
         "json_bytes": len(text.encode("utf-8")),
+        "delta_bytes": len(delta_blob),
+        "delta_save_seconds": delta_save_seconds,
+        "delta_restore_seconds": delta_restore_seconds,
         "restore_bit_identical": bool(identical),
+        "v1_restore_bit_identical": bool(v1_identical),
+        "delta_bit_identical": bool(delta_identical),
     }
 
 
@@ -412,6 +504,7 @@ def run_service_bench(
             "shard_counts": list(config.shard_counts),
             "backends": list(config.backends),
             "baseline_events": config.baseline_cap,
+            "report_queries": config.report_queries,
             "timeline": config.timeline,
         },
         "environment": {
@@ -464,7 +557,8 @@ def format_bench_table(document: Dict[str, Any]) -> str:
         f"profile={document['config']['profile']['popularity']}",
         f"{'engine':>7} {'backend':>8} {'shards':>6} {'batch ev/s':>12} "
         f"{'per-ev ev/s':>12} {'speedup':>8} {'scale-eff':>9} "
-        f"{'report p50':>11} {'ckpt save':>10} {'peak RSS':>9}",
+        f"{'report p50':>11} {'ckpt save':>10} {'ckpt load':>10} "
+        f"{'peak RSS':>9}",
     ]
     for run in document["runs"]:
         latency = run.get("report_latency") or {}
@@ -479,8 +573,9 @@ def format_bench_table(document: Dict[str, Any]) -> str:
             f"{baseline.get('events_per_sec', 0.0):>12,.0f} "
             f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
             f"{(f'{efficiency:.2f}' if efficiency else '-'):>9} "
-            f"{latency.get('p50_seconds', 0.0) * 1000:>10.1f}ms "
+            f"{latency.get('p50_seconds', 0.0) * 1000:>10.2f}ms "
             f"{checkpoint.get('save_seconds', 0.0):>9.2f}s "
+            f"{checkpoint.get('restore_seconds', 0.0):>9.2f}s "
             f"{run['peak_rss_kb'] / 1024:>8.0f}M"
         )
     return "\n".join(lines)

@@ -14,11 +14,13 @@ from typing import Any, Dict, List
 
 #: document schema version written by the current runner; bump on
 #: incompatible layout changes.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: every version the validator still reads (v1 artifacts predate executor
-#: backends and stay valid — they just cannot express process-backend runs).
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: backends, v2 artifacts predate binary/delta checkpoints and the
+#: materialized report view — both stay valid, they just cannot express the
+#: newer measurements).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: exact top-level key set (identical across supported versions).
 TOP_LEVEL_KEYS = {
@@ -66,6 +68,27 @@ CONFIG_KEYS = {
 
 #: version 2 records the benchmarked backend matrix in the config block.
 CONFIG_KEYS_V2 = CONFIG_KEYS | {"backends"}
+
+#: version 3 records the per-cut report query count so the latency numbers
+#: (which mix one cold query with cached follow-ups per cut) are reproducible.
+CONFIG_KEYS_V3 = CONFIG_KEYS_V2 | {"report_queries"}
+
+#: version 3 report_latency separates the cold first-query-after-new-evidence
+#: latency from the (cached) steady-state percentiles.
+REPORT_LATENCY_KEYS_V3 = ("cold_mean_seconds", "cold_max_seconds")
+
+#: version 3 checkpoint blocks measure the binary container as the primary
+#: format (``save_seconds``/``restore_seconds``/``binary_bytes``), keep the
+#: JSON text path for comparison, and add delta-checkpoint metrics plus the
+#: v1-compat restore proof.
+CHECKPOINT_KEYS_V3 = (
+    "binary_bytes",
+    "json_save_seconds",
+    "json_restore_seconds",
+    "delta_bytes",
+    "delta_save_seconds",
+    "delta_restore_seconds",
+)
 
 
 class BenchSchemaError(ValueError):
@@ -156,7 +179,10 @@ def _validate_run(errors: List[str], run: Any, where: str, version: int) -> None
         if not isinstance(latency, dict):
             errors.append(f"{where}.report_latency must be an object or null")
         else:
-            for key in ("queries", "mean_seconds", "p50_seconds", "max_seconds"):
+            required = ["queries", "mean_seconds", "p50_seconds", "max_seconds"]
+            if version >= 3:
+                required.extend(REPORT_LATENCY_KEYS_V3)
+            for key in required:
                 if key not in latency:
                     errors.append(f"{where}.report_latency is missing {key!r}")
                 else:
@@ -175,7 +201,10 @@ def _validate_run(errors: List[str], run: Any, where: str, version: int) -> None
         if not isinstance(checkpoint, dict):
             errors.append(f"{where}.checkpoint must be an object or null")
         else:
-            for key in ("save_seconds", "restore_seconds", "json_bytes"):
+            required = ["save_seconds", "restore_seconds", "json_bytes"]
+            if version >= 3:
+                required.extend(CHECKPOINT_KEYS_V3)
+            for key in required:
                 if key not in checkpoint:
                     errors.append(f"{where}.checkpoint is missing {key!r}")
                 else:
@@ -188,6 +217,14 @@ def _validate_run(errors: List[str], run: Any, where: str, version: int) -> None
                     "a restore that changes reports is a correctness bug, not "
                     "a perf number"
                 )
+            if version >= 3:
+                for key in ("v1_restore_bit_identical", "delta_bit_identical"):
+                    if checkpoint.get(key) is not True:
+                        errors.append(
+                            f"{where}.checkpoint.{key} must be true — format "
+                            "compatibility is a correctness bar, not a perf "
+                            "number"
+                        )
 
     epochs = run.get("epochs")
     if not isinstance(epochs, list) or not epochs:
@@ -249,7 +286,12 @@ def validate_bench_report(document: Any) -> Dict[str, Any]:
     if not isinstance(config, dict):
         errors.append("config must be an object")
     else:
-        config_keys = CONFIG_KEYS if version == 1 else CONFIG_KEYS_V2
+        if version == 1:
+            config_keys = CONFIG_KEYS
+        elif version == 2:
+            config_keys = CONFIG_KEYS_V2
+        else:
+            config_keys = CONFIG_KEYS_V3
         missing_config = config_keys - set(config)
         if missing_config:
             errors.append(f"config is missing keys {sorted(missing_config)}")

@@ -12,6 +12,8 @@ Three subcommands cover the common workflows:
 * ``bench`` — drive the streaming service with a fabric-scale synthetic
   evidence workload (``repro.loadgen``) and write the versioned
   ``BENCH_service.json`` perf artifact (``repro.bench``).
+* ``checkpoint`` — inspect, convert (JSON <-> binary) and merge (delta onto
+  base) service checkpoints written by ``Checkpoint.save``.
 * ``theory`` — evaluate Theorems 1 and 2 for a given topology sizing.
 
 Installed as the ``repro-007`` console script; also runnable via
@@ -254,6 +256,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-epoch progress lines"
     )
 
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="inspect, convert or merge service checkpoints",
+    )
+    checkpoint_sub = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    ckpt_inspect = checkpoint_sub.add_parser(
+        "inspect",
+        help="print a checkpoint's format, kind, counters and epoch contents",
+    )
+    ckpt_inspect.add_argument("path", help="checkpoint file (JSON or binary)")
+    ckpt_convert = checkpoint_sub.add_parser(
+        "convert",
+        help="rewrite a checkpoint in the other serialization",
+    )
+    ckpt_convert.add_argument("src", help="source checkpoint (JSON or binary)")
+    ckpt_convert.add_argument("dst", help="destination path")
+    ckpt_convert.add_argument(
+        "--format",
+        choices=["binary", "json"],
+        default="binary",
+        help="serialization to write (default: binary)",
+    )
+    ckpt_merge = checkpoint_sub.add_parser(
+        "merge",
+        help="apply a delta checkpoint onto its full base",
+    )
+    ckpt_merge.add_argument("base", help="full base checkpoint")
+    ckpt_merge.add_argument("delta", help="delta checkpoint taken against it")
+    ckpt_merge.add_argument("out", help="where to write the merged checkpoint")
+    ckpt_merge.add_argument(
+        "--format",
+        choices=["binary", "json"],
+        default="binary",
+        help="serialization to write (default: binary)",
+    )
+
     theory = subparsers.add_parser("theory", help="evaluate Theorems 1 and 2")
     theory.add_argument("--pods", type=int, default=2)
     theory.add_argument("--tors-per-pod", type=int, default=20)
@@ -485,6 +525,93 @@ def _run_bench_command(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _entry_record_count(entry) -> int:
+    """Record count of one epoch entry, either serialization."""
+    records = entry["records"]
+    return int(records["count"]) if isinstance(records, dict) else len(records)
+
+
+def _run_checkpoint_command(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    from repro.api.checkpoint import (
+        CHECKPOINT_MAGIC,
+        Checkpoint,
+        epoch_retransmission_seqs,
+    )
+
+    try:
+        if args.checkpoint_command == "inspect":
+            path = Path(args.path)
+            data = path.read_bytes()
+            fmt = "binary" if data.startswith(CHECKPOINT_MAGIC) else "json"
+            checkpoint = Checkpoint.load(path)
+            payload = checkpoint.payload
+            delta_text = " (delta)" if checkpoint.is_delta else ""
+            print(
+                f"{path}: {fmt} checkpoint, payload v{checkpoint.version}, "
+                f"kind={checkpoint.kind}{delta_text}, {len(data):,} bytes",
+                file=out,
+            )
+            print(
+                f"  last_finalized={payload.get('last_finalized')} "
+                f"max_epoch_seen={payload.get('max_epoch_seen')}",
+                file=out,
+            )
+            if checkpoint.kind == "sharded":
+                sections = [
+                    (f"shard {i}", shard)
+                    for i, shard in enumerate(payload["shards"])
+                ]
+                print(f"  num_shards={payload['num_shards']}", file=out)
+            else:
+                sections = [("service", payload)]
+            for label, section in sections:
+                epochs = section.get("epochs", [])
+                if not epochs:
+                    print(f"  {label}: no open epochs", file=out)
+                    continue
+                for entry in epochs:
+                    updates = len(
+                        epoch_retransmission_seqs(entry, checkpoint.columns)
+                    )
+                    print(
+                        f"  {label}: epoch {entry['epoch']}: "
+                        f"{_entry_record_count(entry):,} path records, "
+                        f"{updates:,} consumed update seqs",
+                        file=out,
+                    )
+            return 0
+        if args.checkpoint_command == "convert":
+            checkpoint = Checkpoint.load(args.src)
+            checkpoint.save(args.dst, format=args.format)
+            size = Path(args.dst).stat().st_size
+            print(
+                f"wrote {args.format} checkpoint to {args.dst} "
+                f"({size:,} bytes)",
+                file=out,
+            )
+            return 0
+        if args.checkpoint_command == "merge":
+            base = Checkpoint.load(args.base)
+            delta = Checkpoint.load(args.delta)
+            merged = base.apply_delta(delta)
+            merged.save(args.out, format=args.format)
+            size = Path(args.out).stat().st_size
+            print(
+                f"merged {args.delta} onto {args.base}; wrote {args.format} "
+                f"checkpoint to {args.out} ({size:,} bytes)",
+                file=out,
+            )
+            return 0
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled checkpoint command {args.checkpoint_command!r}"
+    )  # pragma: no cover
+
+
 def _run_theory_command(args: argparse.Namespace, out) -> int:
     params = ClosParameters(
         npod=args.pods,
@@ -524,6 +651,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_experiment_command(args, out)
     if args.command == "bench":
         return _run_bench_command(args, out)
+    if args.command == "checkpoint":
+        return _run_checkpoint_command(args, out)
     if args.command == "theory":
         return _run_theory_command(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

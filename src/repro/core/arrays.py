@@ -221,14 +221,36 @@ class LinkIndex(ItemIndex):
         return self._items
 
 
+def _extend_buffer(buf: np.ndarray, used: int, tail: np.ndarray) -> np.ndarray:
+    """Append ``tail`` after ``buf[:used]``, growing capacity geometrically.
+
+    Growth reallocates instead of resizing in place, so array views handed out
+    by earlier snapshots keep the old buffer alive and never observe the new
+    writes; within one buffer, appends only touch ``buf[used:]``.
+    """
+    need = used + len(tail)
+    if need > len(buf):
+        grown = np.empty(max(need, 2 * len(buf), 1024), dtype=buf.dtype)
+        grown[:used] = buf[:used]
+        buf = grown
+    buf[used:need] = tail
+    return buf
+
+
 class ArrayVoteTally:
     """A drop-in, array-backed replacement for :class:`~repro.core.votes.VoteTally`.
 
     Paths are stored as a CSR matrix over a :class:`LinkIndex`: ``cols`` holds
     the interned link ids of every path back to back, ``indptr`` delimits the
     rows (flows), and ``weights`` holds each flow's per-link vote value.  The
-    vote tally, the per-link distinct-flow support, rankings and totals are all
-    computed lazily from those arrays and bit-match the dict engine.
+    vote tally and the per-link distinct-flow support are an incrementally
+    maintained materialized view: each query folds only the rows appended
+    since the last query into running accumulators (an unbuffered
+    ``np.add.at`` applies the new votes per occurrence, left to right — the
+    very fold one ``bincount`` over the whole epoch performs, so the floats
+    are bit-identical to a from-scratch build and to the dict engine).
+    Mid-epoch queries therefore cost O(rows touched since the last query),
+    not O(epoch).
     """
 
     def __init__(
@@ -245,12 +267,26 @@ class ArrayVoteTally:
         self._weights: List[float] = []
         self._flow_ids: List[int] = []
         self._retransmissions: List[int] = []
-        self._row_by_flow: Dict[int, int] = {}
+        self._row_by_flow: Optional[Dict[int, int]] = {}
         self._first_seen: List[int] = []  # voted link ids, first-vote order
         self._voted: set = set()
+        # The materialized view: numpy mirrors of the accumulation lists plus
+        # running vote/support accumulators, advanced past only the rows
+        # appended since the last query (watermarks ``_m_rows``/``_m_hops``).
+        self._m_rows = 0
+        self._m_hops = 0
+        self._buf_cols = np.empty(0, dtype=np.int64)
+        self._buf_indptr = np.zeros(1, dtype=np.int64)
+        self._buf_weights = np.empty(0, dtype=np.float64)
+        self._buf_flows = np.empty(0, dtype=np.int64)
+        self._buf_retrans = np.empty(0, dtype=np.int64)
+        self._votes_m = np.zeros(0, dtype=np.float64)
+        self._support_m = np.zeros(0, dtype=np.int64)
         self._invalidate()
 
     def _invalidate(self) -> None:
+        # Drops only the derived views/caches; the incremental fold state
+        # (buffers, accumulators, watermarks) survives — that is the point.
         self._arrays: Optional[Tuple[np.ndarray, ...]] = None
         self._items_cache: Optional[List[Tuple[DirectedLink, float]]] = None
         self._rank_cache: Optional[Dict[DirectedLink, int]] = None
@@ -406,9 +442,7 @@ class ArrayVoteTally:
         )
         tally._first_seen = np.ascontiguousarray(first_seen, dtype=np.int64)  # type: ignore[assignment]
         tally._voted = set(tally._first_seen.tolist())
-        tally._row_by_flow = dict(
-            zip(tally._flow_ids.tolist(), range(len(tally._flow_ids)))
-        )
+        tally._row_by_flow = None  # built lazily; analysis never needs it
         n = len(index)
         if votes is None:
             lengths = np.diff(indptr)
@@ -429,9 +463,18 @@ class ArrayVoteTally:
         tally._arrays = (cols, indptr, weights, votes, support)
         return tally
 
+    def _flow_rows(self) -> Dict[int, int]:
+        """The flow-id -> row map, built lazily for array-backed tallies."""
+        if self._row_by_flow is None:
+            flow_ids = self._flow_ids
+            if isinstance(flow_ids, np.ndarray):
+                flow_ids = flow_ids.tolist()
+            self._row_by_flow = dict(zip(flow_ids, range(len(flow_ids))))
+        return self._row_by_flow
+
     def row_of_flow(self, flow_id: int) -> Optional[int]:
         """Row index of ``flow_id``'s latest contribution (``None`` if unknown)."""
-        return self._row_by_flow.get(flow_id)
+        return self._flow_rows().get(flow_id)
 
     def bump_rows(self, rows: Sequence[int], extras: Sequence[int]) -> None:
         """Bulk :meth:`bump_retransmissions` by row index.
@@ -440,8 +483,12 @@ class ArrayVoteTally:
         row indices come from :meth:`row_of_flow`.
         """
         retransmissions = self._retransmissions
+        buf = self._buf_retrans
+        mirrored = self._m_rows
         for row, extra in zip(rows, extras):
             retransmissions[row] += extra
+            if row < mirrored:
+                buf[row] += extra
         self._contributions_cache = None
 
     def bump_retransmissions(self, flow_id: int, extra: int) -> None:
@@ -451,30 +498,96 @@ class ArrayVoteTally:
         only the rebuilt-on-demand contribution view is invalidated, not the
         CSR arrays.  Raises ``KeyError`` for unknown flows.
         """
-        row = self._row_by_flow[flow_id]
+        row = self._flow_rows()[flow_id]
         self._retransmissions[row] += extra
+        if row < self._m_rows:
+            self._buf_retrans[row] += extra
         self._contributions_cache = None
 
     # ------------------------------------------------------------------
     # array views
     # ------------------------------------------------------------------
     def _finalized(self) -> Tuple[np.ndarray, ...]:
-        if self._arrays is None:
+        if self._arrays is not None:
+            return self._arrays
+        if not isinstance(self._cols, list):
+            # Array-backed tallies (:meth:`from_arrays`, :meth:`snapshot`) set
+            # ``_arrays`` at construction; rebuild from scratch defensively.
             n = len(self._index)
             cols = np.asarray(self._cols, dtype=np.int64)
             indptr = np.asarray(self._indptr, dtype=np.int64)
             weights = np.asarray(self._weights, dtype=np.float64)
             lengths = np.diff(indptr)
-            # bincount adds weights sequentially in input order — the same
-            # fold order as the dict tally, so votes are bit-identical.
             votes = np.bincount(
                 cols, weights=np.repeat(weights, lengths), minlength=n
             )
             rows = np.repeat(np.arange(len(weights), dtype=np.int64), lengths)
-            # distinct (flow, link) pairs -> per-link flow support
             pair_keys = np.unique(rows * np.int64(max(n, 1)) + cols)
             support = np.bincount(pair_keys % np.int64(max(n, 1)), minlength=n)
             self._arrays = (cols, indptr, weights, votes, support)
+            return self._arrays
+
+        n = len(self._index)
+        total_rows = len(self._weights)
+        total_hops = len(self._cols)
+        if len(self._votes_m) < n:
+            # the shared interner grew (new links voted, here or by sibling
+            # epochs); new ids carry zero votes/support until folded.
+            self._votes_m = np.concatenate(
+                [self._votes_m, np.zeros(n - len(self._votes_m))]
+            )
+            self._support_m = np.concatenate(
+                [self._support_m, np.zeros(n - len(self._support_m), dtype=np.int64)]
+            )
+        if total_rows > self._m_rows:
+            tail_cols = np.asarray(self._cols[self._m_hops :], dtype=np.int64)
+            tail_weights = np.asarray(self._weights[self._m_rows :], dtype=np.float64)
+            tail_bounds = np.asarray(self._indptr[self._m_rows :], dtype=np.int64)
+            lengths = np.diff(tail_bounds)
+            self._buf_cols = _extend_buffer(self._buf_cols, self._m_hops, tail_cols)
+            self._buf_weights = _extend_buffer(
+                self._buf_weights, self._m_rows, tail_weights
+            )
+            self._buf_indptr = _extend_buffer(
+                self._buf_indptr, self._m_rows + 1, tail_bounds[1:]
+            )
+            self._buf_flows = _extend_buffer(
+                self._buf_flows,
+                self._m_rows,
+                np.asarray(self._flow_ids[self._m_rows :], dtype=np.int64),
+            )
+            self._buf_retrans = _extend_buffer(
+                self._buf_retrans,
+                self._m_rows,
+                np.asarray(self._retransmissions[self._m_rows :], dtype=np.int64),
+            )
+            # Unbuffered in-place add: the tail's votes land per occurrence,
+            # left to right, continuing the accumulator exactly where the
+            # previous fold stopped — the same left-to-right double fold one
+            # bincount over the whole epoch performs (a chunk-wise partial
+            # bincount would reassociate the additions and drift by ULPs).
+            np.add.at(
+                self._votes_m, tail_cols, np.repeat(tail_weights, lengths)
+            )
+            # Support is integer-exact in any order: count the distinct
+            # (row, link) pairs of the tail rows (each row's hops are folded
+            # exactly once, so pairs never repeat across folds).
+            rows = np.repeat(
+                np.arange(self._m_rows, total_rows, dtype=np.int64), lengths
+            )
+            pair_keys = np.unique(rows * np.int64(max(n, 1)) + tail_cols)
+            self._support_m += np.bincount(
+                pair_keys % np.int64(max(n, 1)), minlength=n
+            )
+            self._m_rows = total_rows
+            self._m_hops = total_hops
+        self._arrays = (
+            self._buf_cols[:total_hops],
+            self._buf_indptr[: total_rows + 1],
+            self._buf_weights[:total_rows],
+            self._votes_m,
+            self._support_m,
+        )
         return self._arrays
 
     @property
@@ -500,11 +613,17 @@ class ArrayVoteTally:
         return np.asarray(self._first_seen, dtype=np.int64)
 
     def flow_ids_array(self) -> np.ndarray:
-        """Flow ids per row."""
+        """Flow ids per row (a view of the materialized mirror)."""
+        if isinstance(self._flow_ids, list):
+            self._finalized()
+            return self._buf_flows[: len(self._flow_ids)]
         return np.asarray(self._flow_ids, dtype=np.int64)
 
     def retransmissions_array(self) -> np.ndarray:
-        """Retransmission counts per row."""
+        """Retransmission counts per row (a view of the materialized mirror)."""
+        if isinstance(self._retransmissions, list):
+            self._finalized()
+            return self._buf_retrans[: len(self._retransmissions)]
         return np.asarray(self._retransmissions, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -540,13 +659,25 @@ class ArrayVoteTally:
         return sorted(link_of(lid) for lid in self._first_seen)
 
     def items(self) -> List[Tuple[DirectedLink, float]]:
-        """``(link, votes)`` pairs sorted by decreasing votes, ties by link order."""
+        """``(link, votes)`` pairs sorted by decreasing votes, ties by link order.
+
+        Ordered by one ``lexsort`` over ``(-votes, sort rank)`` instead of a
+        Python tuple sort: the rank array is the links' natural order, so the
+        result is the exact list ``sorted(pairs, key=(-votes, link))`` builds,
+        without constructing and comparing O(links) tuples.
+        """
         if self._items_cache is None:
             votes = self.votes_array()
-            link_of = self._index.link_of
-            pairs = [(link_of(lid), float(votes[lid])) for lid in self._first_seen]
-            pairs.sort(key=lambda kv: (-kv[1], kv[0]))
-            self._items_cache = pairs
+            ids = self.voted_ids()
+            if len(ids):
+                ranks = self._index.sort_ranks()
+                ordered = ids[np.lexsort((ranks[ids], -votes[ids]))]
+                link_of = self._index.link_of
+                self._items_cache = list(
+                    zip(map(link_of, ordered.tolist()), votes[ordered].tolist())
+                )
+            else:
+                self._items_cache = []
         return list(self._items_cache)
 
     def as_dict(self) -> Dict[DirectedLink, float]:
@@ -598,16 +729,39 @@ class ArrayVoteTally:
         return self._rank_cache.get(link)
 
     def copy(self) -> "ArrayVoteTally":
-        """A copy of the tally sharing the link index."""
+        """A deep copy of the tally sharing the link index (O(total hops))."""
         clone = ArrayVoteTally(policy=self._policy, index=self._index)
         clone._cols = list(self._cols)
         clone._indptr = list(self._indptr)
         clone._weights = list(self._weights)
         clone._flow_ids = list(self._flow_ids)
         clone._retransmissions = list(self._retransmissions)
-        clone._row_by_flow = dict(self._row_by_flow)
+        clone._row_by_flow = dict(self._flow_rows())
         clone._first_seen = list(self._first_seen)
         clone._voted = set(self._voted)
+        return clone
+
+    def snapshot(self) -> "ArrayVoteTally":
+        """A frozen point-in-time view for mid-epoch reporting.
+
+        O(rows + links) instead of :meth:`copy`'s O(total hops): the CSR
+        mirrors are shared as array views (safe — later ingests append past
+        this snapshot's watermark or reallocate, they never write inside it)
+        and only the state mutated in place afterwards is copied: votes,
+        support, retransmission counts and the voted-link bookkeeping.  The
+        snapshot is read-only — analyze it, do not add flows to it.
+        """
+        cols, indptr, weights, votes, support = self._finalized()
+        clone = ArrayVoteTally(policy=self._policy, index=self._index)
+        clone._cols = cols  # type: ignore[assignment]
+        clone._indptr = indptr  # type: ignore[assignment]
+        clone._weights = weights  # type: ignore[assignment]
+        clone._flow_ids = self.flow_ids_array()  # type: ignore[assignment]
+        clone._retransmissions = self.retransmissions_array().copy()  # type: ignore[assignment]
+        clone._row_by_flow = None
+        clone._first_seen = np.array(self._first_seen, dtype=np.int64)  # type: ignore[assignment]
+        clone._voted = set(self._voted)
+        clone._arrays = (cols, indptr, weights, votes.copy(), support.copy())
         return clone
 
 
@@ -765,9 +919,9 @@ def attribute_flow_causes_arrays(
     best_ids = rank_to_id[best_rank]
 
     link_of = tally.index.link_of
-    return {
-        int(flow_ids[row]): link_of(int(lid)) for row, lid in zip(rows, best_ids)
-    }
+    return dict(
+        zip(flow_ids[rows].tolist(), map(link_of, best_ids.tolist()))
+    )
 
 
 def classify_noise_flows_arrays(

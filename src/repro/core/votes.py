@@ -49,6 +49,7 @@ class VoteTally:
             raise ValueError(f"unknown vote policy {policy!r}")
         self._policy: VotePolicy = policy
         self._votes: Dict[DirectedLink, float] = {}
+        self._support: Dict[DirectedLink, int] = {}
         self._contributions: List[VoteContribution] = []
         self._row_by_flow: Dict[int, int] = {}
         self._items_cache: Optional[List[Tuple[DirectedLink, float]]] = None
@@ -75,6 +76,9 @@ class VoteTally:
         )
         for link in links:
             self._votes[link] = self._votes.get(link, 0.0) + weight
+        # a link repeated within one path still counts this flow once
+        for link in set(links):
+            self._support[link] = self._support.get(link, 0) + 1
         self._row_by_flow[flow_id] = len(self._contributions)
         self._contributions.append(contribution)
         self._items_cache = None
@@ -136,6 +140,8 @@ class VoteTally:
         unit = self._policy == "unit"
         votes = self._votes
         votes_get = votes.get
+        support = self._support
+        support_get = support.get
         contributions = self._contributions
         row_by_flow = self._row_by_flow
         row = len(contributions)
@@ -146,6 +152,8 @@ class VoteTally:
             weight = 1.0 if unit else 1.0 / len(links)
             for link in links:
                 votes[link] = votes_get(link, 0.0) + weight
+            for link in set(links):
+                support[link] = support_get(link, 0) + 1
             row_by_flow[path.flow_id] = row
             contributions.append(
                 VoteContribution(
@@ -172,24 +180,19 @@ class VoteTally:
         return self._votes.get(link, 0.0)
 
     def support_of(self, link: DirectedLink) -> int:
-        """Number of distinct flows that voted for ``link``."""
-        return sum(1 for c in self._contributions if link in c.links)
+        """Number of distinct flows that voted for ``link`` (O(1) lookup)."""
+        return self._support.get(link, 0)
 
     def support_map(self) -> Dict[DirectedLink, int]:
-        """Per-link distinct-flow support, computed in one contribution pass.
+        """Per-link distinct-flow support as maintained incrementally.
 
-        Equals ``{link: support_of(link)}`` over every voted link, but costs
-        O(total hops) instead of O(links x flows) — the difference between
-        milliseconds and minutes at production scale, where Algorithm 1 needs
-        every link's support for its eligibility filter.
+        Equals ``{link: support_of(link)}`` over every voted link.  The map is
+        accumulated as flows are added (a link repeated within one path still
+        counts its flow once), so materializing it for Algorithm 1's
+        eligibility filter costs a dict copy instead of an O(total hops)
+        rescan of every contribution.
         """
-        support: Dict[DirectedLink, int] = {}
-        support_get = support.get
-        for contribution in self._contributions:
-            # a link repeated within one path still counts this flow once
-            for link in set(contribution.links):
-                support[link] = support_get(link, 0) + 1
-        return support
+        return dict(self._support)
 
     def total_votes(self) -> float:
         """Sum of all votes cast."""
@@ -251,6 +254,17 @@ class VoteTally:
         """A deep copy of the tally (Algorithm 1 adjusts a copy)."""
         clone = VoteTally(policy=self._policy)
         clone._votes = dict(self._votes)
+        clone._support = dict(self._support)
         clone._contributions = list(self._contributions)
         clone._row_by_flow = dict(self._row_by_flow)
         return clone
+
+    def snapshot(self) -> "VoteTally":
+        """An isolated point-in-time view for mid-epoch reporting.
+
+        The dict tally's :meth:`copy` is already O(flows + links) — votes and
+        support are shallow dict copies and contributions are immutable — so
+        the snapshot is simply a copy; the method exists so the streaming
+        service can take snapshots uniformly across both engines.
+        """
+        return self.copy()

@@ -178,6 +178,47 @@ class TestWorkerFailure:
         finally:
             fleet.close()  # must not raise or hang after a worker death
 
+    def test_restore_respawns_a_dead_process_fleet(self):
+        """Checkpoint restore overwrites every shard's state, so a restore
+        onto a fleet whose workers died must respawn the pipeline and come
+        back bit-identical instead of staying wedged on the latched error."""
+        events = [e for e in loadgen_events(epochs=1) if not isinstance(e, EpochTick)]
+        half = len(events) // 2
+        fleet = ShardedService(2, backend="process")
+        try:
+            fleet.ingest_batch(events[:half])
+            checkpoint = fleet.checkpoint()
+            mid = report_signature(fleet.report(0))
+            executor = fleet.executor
+            executor.ping()
+            executor._processes[0].kill()
+            executor._processes[0].join(timeout=10.0)
+            deadline = time.monotonic() + 30.0
+            with pytest.raises(ShardExecutorError):
+                while time.monotonic() < deadline:
+                    executor.ping()
+                    time.sleep(0.05)
+            executor.restore_shards(
+                checkpoint.payload["shards"], checkpoint.columns
+            )
+            assert report_signature(fleet.report(0)) == mid
+            fleet.ingest_batch(events[half:])  # the revived fleet keeps working
+            fleet.ingest(EpochTick(0))
+            final = report_signature(fleet.report(0))
+        finally:
+            fleet.close()
+        single = Zero07Service()
+        single.ingest_batch(list(events))
+        single.ingest(EpochTick(0))
+        assert final == report_signature(single.report(0))
+
+    def test_restore_shards_after_close_raises(self):
+        fleet = ShardedService(2, backend="process")
+        checkpoint = fleet.checkpoint()
+        fleet.close()
+        with pytest.raises(ShardExecutorError):
+            fleet.executor.restore_shards(checkpoint.payload["shards"], None)
+
     def test_calls_after_close_raise(self):
         fleet = ShardedService(2, backend="process")
         fleet.close()

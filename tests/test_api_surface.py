@@ -27,6 +27,7 @@ EXPECTED_EXPORTS = {
     "ServiceStats",
     "EvidenceSource",
     "ReportSink",
+    "ReportUnavailableError",
     "CallbackSink",
     "DetectionLogSink",
     # scale-out
@@ -70,7 +71,9 @@ EXPECTED_SIGNATURES = {
     ),
     "Zero07Service.report": "(self, epoch: 'Optional[int]' = None) -> 'EpochReport'",
     "Zero07Service.advance_epoch": "(self, epoch: 'int') -> 'EpochReport'",
-    "Zero07Service.checkpoint": "(self) -> 'Checkpoint'",
+    "Zero07Service.checkpoint": (
+        "(self, base: 'Optional[Checkpoint]' = None) -> 'Checkpoint'"
+    ),
     "Zero07Service.restore": (
         "(checkpoint: 'Checkpoint', sinks: 'Sequence[ReportSink]' = (), "
         "link_index: 'Optional[LinkIndex]' = None) -> \"'Zero07Service'\""
@@ -87,8 +90,18 @@ EXPECTED_SIGNATURES = {
         "workers: 'Optional[int]' = None) -> 'None'"
     ),
     "ShardedService.report": "(self, epoch: 'Optional[int]' = None) -> 'EpochReport'",
+    "ShardedService.checkpoint": (
+        "(self, base: 'Optional[Checkpoint]' = None) -> 'Checkpoint'"
+    ),
     "Checkpoint.to_json": "(self, indent: 'int | None' = None) -> 'str'",
     "Checkpoint.from_json": "(text: 'str') -> \"'Checkpoint'\"",
+    "Checkpoint.to_bytes": "(self) -> 'bytes'",
+    "Checkpoint.from_bytes": "(data: 'bytes') -> \"'Checkpoint'\"",
+    "Checkpoint.save": (
+        "(self, path: 'Union[str, Path]', format: 'str' = 'binary') -> 'None'"
+    ),
+    "Checkpoint.load": "(path: 'Union[str, Path]') -> \"'Checkpoint'\"",
+    "Checkpoint.apply_delta": "(self, delta: \"'Checkpoint'\") -> \"'Checkpoint'\"",
     "ReportSink.on_report": "(self, report: 'EpochReport') -> 'None'",
     "EvidenceSource.events": "(self) -> 'Iterable[Evidence]'",
     "path_evidence_stream": (

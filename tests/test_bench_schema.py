@@ -54,6 +54,34 @@ GOLDEN_RUN_KEYS = GOLDEN_RUN_KEYS_V1 | {
     "scaling_efficiency",
 }
 
+#: version 3 checkpoint block: binary container is the primary format,
+#: JSON kept for comparison, plus delta metrics and compat proofs.
+GOLDEN_CHECKPOINT_KEYS = {
+    "save_seconds",
+    "restore_seconds",
+    "binary_bytes",
+    "json_save_seconds",
+    "json_restore_seconds",
+    "json_bytes",
+    "delta_bytes",
+    "delta_save_seconds",
+    "delta_restore_seconds",
+    "restore_bit_identical",
+    "v1_restore_bit_identical",
+    "delta_bit_identical",
+}
+
+#: version 3 report latency separates the cold first-query cost from the
+#: (cached) steady-state percentiles.
+GOLDEN_REPORT_LATENCY_KEYS = {
+    "queries",
+    "mean_seconds",
+    "p50_seconds",
+    "max_seconds",
+    "cold_mean_seconds",
+    "cold_max_seconds",
+}
+
 
 @pytest.fixture(scope="module")
 def tiny_document():
@@ -72,9 +100,33 @@ def tiny_document():
     return run_service_bench(config)
 
 
+def as_version_2(document):
+    """The same document as a version-2 writer would have produced it."""
+    v2 = copy.deepcopy(document)
+    v2["schema_version"] = 2
+    v2["config"].pop("report_queries")
+    for run in v2["runs"]:
+        checkpoint = run["checkpoint"]
+        run["checkpoint"] = {
+            key: checkpoint[key]
+            for key in (
+                "save_seconds",
+                "restore_seconds",
+                "json_bytes",
+                "restore_bit_identical",
+            )
+        }
+        latency = run["report_latency"]
+        run["report_latency"] = {
+            key: latency[key]
+            for key in ("queries", "mean_seconds", "p50_seconds", "max_seconds")
+        }
+    return v2
+
+
 def as_version_1(document):
-    """The same document as a version-1 reader would have written it."""
-    v1 = copy.deepcopy(document)
+    """The same document as a version-1 writer would have produced it."""
+    v1 = as_version_2(document)
     v1["schema_version"] = 1
     v1["config"].pop("backends")
     v1["runs"] = [
@@ -97,6 +149,8 @@ class TestProducedDocument:
         assert tiny_document["schema_version"] == BENCH_SCHEMA_VERSION
         for run in tiny_document["runs"]:
             assert set(run) == GOLDEN_RUN_KEYS
+            assert set(run["checkpoint"]) == GOLDEN_CHECKPOINT_KEYS
+            assert set(run["report_latency"]) == GOLDEN_REPORT_LATENCY_KEYS
 
     def test_epoch_counters_are_monotonic_and_throughput_positive(
         self, tiny_document
@@ -108,6 +162,11 @@ class TestProducedDocument:
             assert run["per_event_baseline"]["events_per_sec"] > 0
             assert run["speedup_vs_per_event"] > 0
             assert run["checkpoint"]["restore_bit_identical"] is True
+            assert run["checkpoint"]["v1_restore_bit_identical"] is True
+            assert run["checkpoint"]["delta_bit_identical"] is True
+            assert 0 < run["checkpoint"]["binary_bytes"] < (
+                run["checkpoint"]["json_bytes"]
+            )
 
     def test_matrix_covers_requested_configurations(self, tiny_document):
         configs = {
@@ -158,15 +217,30 @@ class TestProducedDocument:
         assert table.count("arrays") == len(tiny_document["runs"])
 
 
-class TestVersion1Compatibility:
+class TestOlderVersionCompatibility:
     def test_version_1_documents_stay_readable(self, tiny_document):
         validate_bench_report(as_version_1(tiny_document))
+
+    def test_version_2_documents_stay_readable(self, tiny_document):
+        validate_bench_report(as_version_2(tiny_document))
 
     def test_version_1_rejects_version_2_keys(self, tiny_document):
         v1 = as_version_1(tiny_document)
         v1["runs"][0]["backend"] = "inline"
         with pytest.raises(BenchSchemaError):
             validate_bench_report(v1)
+
+    def test_version_3_requires_the_new_checkpoint_metrics(self, tiny_document):
+        broken = copy.deepcopy(tiny_document)
+        del broken["runs"][0]["checkpoint"]["binary_bytes"]
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report(broken)
+
+    def test_version_3_requires_the_cold_latency_metrics(self, tiny_document):
+        broken = copy.deepcopy(tiny_document)
+        del broken["runs"][0]["report_latency"]["cold_mean_seconds"]
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report(broken)
 
 
 class TestValidatorRejectsDrift:
@@ -211,6 +285,18 @@ class TestValidatorRejectsDrift:
     def test_rejects_non_identical_restore(self, tiny_document):
         def mutate(document):
             document["runs"][0]["checkpoint"]["restore_bit_identical"] = False
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_non_identical_v1_restore(self, tiny_document):
+        def mutate(document):
+            document["runs"][0]["checkpoint"]["v1_restore_bit_identical"] = False
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_non_identical_delta_restore(self, tiny_document):
+        def mutate(document):
+            document["runs"][0]["checkpoint"]["delta_bit_identical"] = False
 
         self.corrupt(tiny_document, mutate)
 

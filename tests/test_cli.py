@@ -154,3 +154,102 @@ class TestCommands:
     def test_bench_rejects_bad_shards(self):
         assert main(["bench", "--shards", "nope", "--quiet"]) == 2
         assert main(["bench", "--shards", "0", "--quiet"]) == 2
+
+
+class TestCheckpointCommand:
+    """``repro-007 checkpoint``: inspect / convert / merge on-disk checkpoints."""
+
+    @pytest.fixture()
+    def checkpoints(self, tmp_path):
+        from repro.api import Zero07Service
+        from repro.loadgen import EvidenceLoadGenerator
+
+        generator = EvidenceLoadGenerator(
+            fabric="tiny", events_per_epoch=400, seed=5
+        )
+        service = Zero07Service()
+        service.ingest_batch(generator.epoch_events(0, tick=False), owned=True)
+        base = service.checkpoint()
+        base.save(tmp_path / "base.bin")
+        service.ingest_batch(generator.epoch_events(1, tick=False), owned=True)
+        service.checkpoint(base=base).save(tmp_path / "delta.bin")
+        service.checkpoint().save(tmp_path / "full.json", format="json")
+        return tmp_path
+
+    def test_inspect_prints_format_kind_and_epochs(self, checkpoints):
+        out = io.StringIO()
+        assert main(
+            ["checkpoint", "inspect", str(checkpoints / "base.bin")], out=out
+        ) == 0
+        text = out.getvalue()
+        assert "binary checkpoint" in text
+        assert "kind=service" in text
+        assert "epoch 0" in text
+
+        out = io.StringIO()
+        assert main(
+            ["checkpoint", "inspect", str(checkpoints / "delta.bin")], out=out
+        ) == 0
+        assert "(delta)" in out.getvalue()
+
+        out = io.StringIO()
+        assert main(
+            ["checkpoint", "inspect", str(checkpoints / "full.json")], out=out
+        ) == 0
+        assert "json checkpoint" in out.getvalue()
+
+    def test_convert_round_trips_between_serializations(self, checkpoints):
+        from repro.api import Checkpoint
+
+        out = io.StringIO()
+        assert main(
+            [
+                "checkpoint", "convert",
+                str(checkpoints / "base.bin"),
+                str(checkpoints / "base.json"),
+                "--format", "json",
+            ],
+            out=out,
+        ) == 0
+        original = Checkpoint.load(checkpoints / "base.bin").materialize()
+        converted = Checkpoint.load(checkpoints / "base.json")
+        assert converted.payload == original.payload
+
+    def test_merge_reproduces_the_full_checkpoint(self, checkpoints):
+        from repro.api import Checkpoint
+
+        out = io.StringIO()
+        assert main(
+            [
+                "checkpoint", "merge",
+                str(checkpoints / "base.bin"),
+                str(checkpoints / "delta.bin"),
+                str(checkpoints / "merged.bin"),
+            ],
+            out=out,
+        ) == 0
+        merged = Checkpoint.load(checkpoints / "merged.bin").materialize()
+        full = Checkpoint.load(checkpoints / "full.json")
+        assert merged.payload == full.payload
+
+    def test_merge_rejects_a_mismatched_base(self, checkpoints, capsys):
+        # full.json is not the base the delta was taken against — the
+        # fingerprint check must fail loudly instead of merging garbage.
+        assert main(
+            [
+                "checkpoint", "merge",
+                str(checkpoints / "full.json"),
+                str(checkpoints / "delta.bin"),
+                str(checkpoints / "bad.bin"),
+            ],
+            out=io.StringIO(),
+        ) == 2
+        assert "fingerprint" in capsys.readouterr().err
+        assert not (checkpoints / "bad.bin").exists()
+
+    def test_inspect_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["checkpoint", "inspect", str(tmp_path / "nope.bin")],
+            out=io.StringIO(),
+        ) == 2
+        assert "error:" in capsys.readouterr().err
