@@ -48,14 +48,17 @@ from repro.api.executor import (
 from repro.api.sharded import ShardedService, shard_of_host
 from repro.api.wire import (
     EvidenceColumnStore,
+    LinkRemap,
     WireDecoder,
     WireEncoder,
     WireProtocolError,
+    WireRun,
 )
 from repro.api.sources import (
     EvidenceRecorder,
     MonitoringEvidenceStream,
     ReplayEvidenceSource,
+    partition_evidence,
     path_evidence_stream,
 )
 
@@ -85,6 +88,8 @@ __all__ = [
     # evidence transport
     "WireEncoder",
     "WireDecoder",
+    "WireRun",
+    "LinkRemap",
     "EvidenceColumnStore",
     "WireProtocolError",
     # checkpointing
@@ -95,4 +100,5 @@ __all__ = [
     "ReplayEvidenceSource",
     "EvidenceRecorder",
     "path_evidence_stream",
+    "partition_evidence",
 ]

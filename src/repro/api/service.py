@@ -497,6 +497,16 @@ class Zero07Service:
             return
         self._ingest_evidence_run(epoch, run, owned, seqs)
 
+    @property
+    def last_finalized_epoch(self) -> Optional[int]:
+        """The newest epoch closed by a tick (``None`` before the first).
+
+        Transports use this to drop redelivered evidence for epochs whose
+        final report already shipped instead of paying the late-event path
+        per event.
+        """
+        return self._last_finalized
+
     def consume(self, source: EvidenceSource, owned: bool = False) -> None:
         """Drain an :class:`EvidenceSource` into the service.
 

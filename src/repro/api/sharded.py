@@ -366,6 +366,32 @@ class ShardedService:
             else:
                 self.ingest(chunk[0])
 
+    def ingest_run(
+        self,
+        epoch: int,
+        run: List[Evidence],
+        owned: bool = False,
+        seqs: Optional[np.ndarray] = None,
+    ) -> None:
+        """Hand one single-epoch evidence run straight to the routing core.
+
+        The sharded twin of :meth:`Zero07Service.ingest_run` — the hand-off
+        hook for transports that already segmented the stream into one
+        epoch's tickless run.  ``seqs`` is accepted for signature parity but
+        unused: the routing pass re-derives sequence numbers as part of its
+        single validation scan.
+        """
+        if "ingest" in self.__dict__:
+            for event in run:
+                self.ingest(event)
+            return
+        self._ingest_evidence_run(epoch, run, owned)
+
+    @property
+    def last_finalized_epoch(self) -> Optional[int]:
+        """The newest epoch closed by a tick (``None`` before the first)."""
+        return self._last_finalized
+
     def _commit_stretch(
         self,
         epoch: int,

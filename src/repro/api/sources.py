@@ -16,6 +16,8 @@
   testing.
 * :func:`path_evidence_stream` — turn a batch of discovered paths into the
   equivalent evidence stream (the batch → streaming adapter).
+* :func:`partition_evidence` — contiguous per-agent slices of one epoch's
+  evidence (the batch → fleet adapter).
 """
 
 from __future__ import annotations
@@ -48,6 +50,33 @@ def path_evidence_stream(
         yield PathEvidence(epoch=epoch, seq=seq, path=path)
     if tick:
         yield EpochTick(epoch=epoch)
+
+
+def partition_evidence(
+    events: Sequence[Evidence], num_partitions: int
+) -> List[List[Evidence]]:
+    """Split one epoch's evidence into contiguous per-agent slices.
+
+    Partition ``i`` of ``n`` gets the events at positions
+    ``[i*len/n, (i+1)*len/n)`` with their original sequence numbers — so the
+    union of all partitions is exactly the input stream, and each partition
+    is itself a strictly-increasing-seq run.  This is the fleet's slicing
+    discipline: contiguous ranges let the analyzer reassemble the global
+    order by sorting whole chunks (never individual events), which keeps
+    multi-agent ingestion on the service's vectorized fast path.  Ticks do
+    not belong in the slices (the analyzer synthesizes one tick per epoch
+    from the agents' tick barrier) and are rejected here.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    events = events if isinstance(events, list) else list(events)
+    if any(isinstance(event, EpochTick) for event in events):
+        raise ValueError("partition_evidence takes tickless runs")
+    n = len(events)
+    return [
+        events[(i * n) // num_partitions : ((i + 1) * n) // num_partitions]
+        for i in range(num_partitions)
+    ]
 
 
 class ReplayEvidenceSource:

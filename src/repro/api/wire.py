@@ -99,6 +99,17 @@ class WireEncoder:
         """The shared link interner (ids appear verbatim on the wire)."""
         return self._links
 
+    def reset_stream(self, stream: int) -> None:
+        """Forget what ``stream``'s decoder has seen (peer reconnected).
+
+        A decoder is per-connection state; after a reconnect the new decoder
+        starts with empty tables, so the encoder must replay the full table
+        prefix in its next message.  Interning work is retained — only the
+        per-stream sent watermarks rewind.
+        """
+        self._links_sent[stream] = 0
+        self._names_sent[stream] = 0
+
     def _ids(self, index: ItemIndex, items: List) -> List[int]:
         resolved = index.lookup_ids(map(id, items), len(items))
         if resolved is None:
@@ -222,6 +233,140 @@ class WireEncoder:
         return bytes(out)
 
 
+class WireRun:
+    """One decoded message as raw columns — no per-event objects yet.
+
+    The cheap half of decoding: header fields plus numpy views over the
+    message buffer (which the run keeps alive), with the decoder's shared
+    link/name tables referenced for the expensive half.  Hot consumers (the
+    fleet analyzer's columnar ingest) read the arrays directly; anything
+    that needs real :class:`~repro.api.events.Evidence` objects calls
+    :meth:`materialize`, which is exactly the loop ``WireDecoder.decode``
+    always performed.  The tables are append-only, so a retained run can be
+    materialized at any later point of the stream.
+    """
+
+    __slots__ = (
+        "shard",
+        "epoch",
+        "n_events",
+        "n_paths",
+        "kinds",
+        "seqs",
+        "flow_ids",
+        "retrans",
+        "path_epochs",
+        "lengths",
+        "lids",
+        "src_hosts",
+        "dst_hosts",
+        "src_ips",
+        "dst_ips",
+        "src_ports",
+        "dst_ports",
+        "protocols",
+        "complete",
+        "upd_flows",
+        "upd_counts",
+        "links_table",
+        "names_table",
+        "nbytes",
+        "_data",
+    )
+
+    @property
+    def first_seq(self) -> int:
+        """The run's first sequence number (-1 for an empty run)."""
+        return int(self.seqs[0]) if self.n_events else -1
+
+    @property
+    def last_seq(self) -> int:
+        """The run's last sequence number (-1 for an empty run)."""
+        return int(self.seqs[-1]) if self.n_events else -1
+
+    def path_seqs(self) -> np.ndarray:
+        """Sequence numbers of just the path events, in run order."""
+        if self.n_paths == self.n_events:
+            return self.seqs
+        return self.seqs[self.kinds == 0]
+
+    def update_seqs(self) -> np.ndarray:
+        """Sequence numbers of just the count updates, in run order."""
+        if self.n_paths == self.n_events:
+            return self.seqs[:0]
+        return self.seqs[self.kinds != 0]
+
+    def materialize(self) -> List[Evidence]:
+        """Rebuild the run's evidence events (the expensive decode half)."""
+        epoch = self.epoch
+        names = self.names_table
+        links_table = self.links_table
+        flow_ids = self.flow_ids.tolist()
+        retrans = self.retrans.tolist()
+        path_epochs = self.path_epochs.tolist()
+        lengths = self.lengths.tolist()
+        lids = self.lids.tolist()
+        src_hosts = self.src_hosts.tolist()
+        dst_hosts = self.dst_hosts.tolist()
+        src_ips = self.src_ips.tolist()
+        dst_ips = self.dst_ips.tolist()
+        src_ports = self.src_ports.tolist()
+        dst_ports = self.dst_ports.tolist()
+        protocols = self.protocols.tolist()
+        complete = self.complete.tolist()
+        paths: List[DiscoveredPath] = []
+        pos = 0
+        for i in range(self.n_paths):
+            length = lengths[i]
+            paths.append(
+                DiscoveredPath(
+                    flow_id=flow_ids[i],
+                    five_tuple=FiveTuple(
+                        src_ip=names[src_ips[i]],
+                        dst_ip=names[dst_ips[i]],
+                        src_port=src_ports[i],
+                        dst_port=dst_ports[i],
+                        protocol=protocols[i],
+                    ),
+                    src_host=names[src_hosts[i]],
+                    dst_host=names[dst_hosts[i]],
+                    links=[links_table[j] for j in lids[pos : pos + length]],
+                    complete=bool(complete[i]),
+                    retransmissions=retrans[i],
+                    epoch=path_epochs[i],
+                )
+            )
+            pos += length
+
+        seqs_list = self.seqs.tolist()
+        n_updates = self.n_events - self.n_paths
+        if n_updates == 0:
+            return [
+                PathEvidence(epoch, seq, path)
+                for seq, path in zip(seqs_list, paths)
+            ]
+        upd_flows = self.upd_flows.tolist()
+        upd_counts = self.upd_counts.tolist()
+        events: List[Evidence] = []
+        append = events.append
+        path_iter = iter(paths)
+        upd_i = 0
+        for kind, seq in zip(self.kinds.tolist(), seqs_list):
+            if kind:
+                append(
+                    RetransmissionEvidence(
+                        epoch,
+                        upd_flows[upd_i],
+                        upd_counts[upd_i],
+                        None if seq < 0 else seq,
+                    )
+                )
+                upd_i += 1
+            else:
+                append(PathEvidence(epoch, seq, next(path_iter)))
+        return events
+
+
 class WireDecoder:
     """Rebuilds evidence events from one stream of encoder messages.
 
@@ -234,6 +379,11 @@ class WireDecoder:
     def __init__(self) -> None:
         self._links: List[DirectedLink] = []
         self._names: List[str] = []
+
+    @property
+    def links_table(self) -> List[DirectedLink]:
+        """The stream's accumulated link table (append-only; do not mutate)."""
+        return self._links
 
     def _extend_tables(
         self, link_lo: int, links_blob: bytes, name_lo: int, names_blob: bytes
@@ -250,10 +400,13 @@ class WireDecoder:
         if names_blob:
             self._names.extend(names_blob.decode("utf-8").split("\x00"))
 
-    def decode(
-        self, data
-    ) -> Tuple[int, int, List[Evidence], np.ndarray]:
-        """Decode one message into ``(shard, epoch, events, seqs)``."""
+    def decode_columns(self, data) -> WireRun:
+        """Decode one message into a :class:`WireRun` of raw columns.
+
+        Validates the header and folds the message's table deltas into the
+        stream state, but builds no event objects — column views over the
+        input buffer only.  The returned run keeps ``data`` alive.
+        """
         data = memoryview(data)
         (
             magic,
@@ -280,82 +433,75 @@ class WireDecoder:
         )
         offset += links_len + names_len
 
+        run = WireRun()
+        run.shard = shard
+        run.epoch = epoch
+        run.n_events = n_events
+        run.n_paths = n_paths
+        run.links_table = self._links
+        run.names_table = self._names
+        run.nbytes = len(data)
+        run._data = data
+
         def column(dtype, count):
             nonlocal offset
             arr = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
             offset += arr.nbytes
             return arr
 
-        kinds = column(np.uint8, n_events)
-        seqs = column(np.int64, n_events)
-        flow_ids = column(np.int64, n_paths).tolist()
-        retrans = column(np.int64, n_paths).tolist()
-        path_epochs = column(np.int64, n_paths).tolist()
-        lengths = column(np.int32, n_paths).tolist()
-        lids = column(np.int32, total_hops).tolist()
-        src_hosts = column(np.int32, n_paths).tolist()
-        dst_hosts = column(np.int32, n_paths).tolist()
-        src_ips = column(np.int32, n_paths).tolist()
-        dst_ips = column(np.int32, n_paths).tolist()
-        src_ports = column(np.int32, n_paths).tolist()
-        dst_ports = column(np.int32, n_paths).tolist()
-        protocols = column(np.int32, n_paths).tolist()
-        complete = column(np.uint8, n_paths).tolist()
+        run.kinds = column(np.uint8, n_events)
+        run.seqs = column(np.int64, n_events)
+        run.flow_ids = column(np.int64, n_paths)
+        run.retrans = column(np.int64, n_paths)
+        run.path_epochs = column(np.int64, n_paths)
+        run.lengths = column(np.int32, n_paths)
+        run.lids = column(np.int32, total_hops)
+        run.src_hosts = column(np.int32, n_paths)
+        run.dst_hosts = column(np.int32, n_paths)
+        run.src_ips = column(np.int32, n_paths)
+        run.dst_ips = column(np.int32, n_paths)
+        run.src_ports = column(np.int32, n_paths)
+        run.dst_ports = column(np.int32, n_paths)
+        run.protocols = column(np.int32, n_paths)
+        run.complete = column(np.uint8, n_paths)
         n_updates = n_events - n_paths
-        upd_flows = column(np.int64, n_updates).tolist()
-        upd_counts = column(np.int64, n_updates).tolist()
+        run.upd_flows = column(np.int64, n_updates)
+        run.upd_counts = column(np.int64, n_updates)
+        return run
 
-        links_table = self._links
-        names = self._names
-        paths: List[DiscoveredPath] = []
-        pos = 0
-        for i in range(n_paths):
-            length = lengths[i]
-            paths.append(
-                DiscoveredPath(
-                    flow_id=flow_ids[i],
-                    five_tuple=FiveTuple(
-                        src_ip=names[src_ips[i]],
-                        dst_ip=names[dst_ips[i]],
-                        src_port=src_ports[i],
-                        dst_port=dst_ports[i],
-                        protocol=protocols[i],
-                    ),
-                    src_host=names[src_hosts[i]],
-                    dst_host=names[dst_hosts[i]],
-                    links=[links_table[j] for j in lids[pos : pos + length]],
-                    complete=bool(complete[i]),
-                    retransmissions=retrans[i],
-                    epoch=path_epochs[i],
-                )
+    def decode(
+        self, data
+    ) -> Tuple[int, int, List[Evidence], np.ndarray]:
+        """Decode one message into ``(shard, epoch, events, seqs)``."""
+        run = self.decode_columns(data)
+        return run.shard, run.epoch, run.materialize(), run.seqs
+
+
+class LinkRemap:
+    """Maps one decoder stream's link ids onto a shared :class:`LinkIndex`.
+
+    The decoder's table and the target index are both append-only, so the
+    mapping is a growable integer gather table: entries are interned into the
+    index the first time their table position appears, and every later
+    message remaps with one numpy fancy-index.  This is what lets a columnar
+    consumer fold wire runs from many independent streams into one merged
+    column store without touching per-event objects.
+    """
+
+    def __init__(self, decoder: WireDecoder, index: LinkIndex) -> None:
+        self._table = decoder.links_table
+        self._index = index
+        self._map = np.zeros(0, dtype=np.int64)
+
+    def ids(self, lids: np.ndarray) -> np.ndarray:
+        """Translate wire link ids into target-index ids (int64 copy)."""
+        table = self._table
+        if len(self._map) < len(table):
+            fresh = np.asarray(
+                self._index.fast_ids(table[len(self._map) :]), dtype=np.int64
             )
-            pos += length
-
-        seqs_list = seqs.tolist()
-        if n_updates == 0:
-            events: List[Evidence] = [
-                PathEvidence(epoch, seq, path)
-                for seq, path in zip(seqs_list, paths)
-            ]
-        else:
-            events = []
-            append = events.append
-            path_iter = iter(paths)
-            upd_i = 0
-            for kind, seq in zip(kinds.tolist(), seqs_list):
-                if kind:
-                    append(
-                        RetransmissionEvidence(
-                            epoch,
-                            upd_flows[upd_i],
-                            upd_counts[upd_i],
-                            None if seq < 0 else seq,
-                        )
-                    )
-                    upd_i += 1
-                else:
-                    append(PathEvidence(epoch, seq, next(path_iter)))
-        return shard, epoch, events, seqs
+            self._map = np.concatenate([self._map, fresh])
+        return self._map[lids]
 
 
 # ----------------------------------------------------------------------
@@ -567,6 +713,117 @@ class EvidenceColumnStore:
             if None in rows_list:
                 # an update for a flow the columns never saw — only possible
                 # if the facade routed through older per-event state; replay.
+                self.mark_dirty(epoch)
+                return
+            for row, extra in zip(rows_list, totals.tolist()):
+                retrans[row] += extra
+
+        state.max_seq = int(seqs[-1])
+
+    def append_columns(
+        self, epoch: int, run: WireRun, link_ids: np.ndarray
+    ) -> None:
+        """Fold one committed wire run into the epoch's columns, object-free.
+
+        The columnar twin of :meth:`append_run`: identical preconditions,
+        identical mutations, but fed straight from a :class:`WireRun`'s
+        arrays plus pre-remapped link ids (:meth:`LinkRemap.ids` of
+        ``run.lids``) — no :class:`DiscoveredPath` objects are ever built.
+        Any violation marks the epoch dirty and the caller replays
+        materialized evidence instead, exactly like the object path.
+        """
+        if epoch in self._dirty:
+            return
+        state = self._epochs.get(epoch)
+        if state is None:
+            state = self._epochs[epoch] = _EpochColumns()
+        seqs = run.seqs
+        if len(seqs) == 0:
+            return
+        if int(seqs[0]) <= state.max_seq or (
+            len(seqs) > 1 and not bool((np.diff(seqs) > 0).all())
+        ):
+            self.mark_dirty(epoch)
+            return
+        n_paths = run.n_paths
+        n_updates = run.n_events - n_paths
+        lengths = run.lengths.astype(np.int64)
+        if n_paths and int(lengths.min()) == 0:
+            self.mark_dirty(epoch)
+            return
+        flow_list = run.flow_ids.tolist()
+
+        if n_updates:
+            # same degenerate-stream rule as append_run: no update may
+            # precede a later re-trace of its flow within the run.
+            last_path_seq = dict(zip(flow_list, run.path_seqs().tolist()))
+            seq_of_last_path = last_path_seq.get
+            if any(
+                seq_of_last_path(flow, -1) > seq
+                for flow, seq in zip(
+                    run.upd_flows.tolist(), run.update_seqs().tolist()
+                )
+            ):
+                self.mark_dirty(epoch)
+                return
+
+        # -- all checks passed: mutate ----------------------------------
+        if n_paths:
+            row0 = state.num_rows
+            cols = (
+                link_ids
+                if link_ids.dtype == np.int64
+                else link_ids.astype(np.int64)
+            )
+            state.cols_chunks.append(cols)
+            state.lengths_chunks.append(lengths)
+            if self._policy == "unit":
+                state.weights_chunks.append(np.ones(n_paths, dtype=np.float64))
+            else:
+                state.weights_chunks.append(1.0 / lengths)
+            state.flow_chunks.append(run.flow_ids.astype(np.int64))
+            state.retransmissions.extend(run.retrans.tolist())
+            state.row_by_flow.update(
+                zip(flow_list, range(row0, row0 + n_paths))
+            )
+            state.num_rows = row0 + n_paths
+
+            n_links = len(self._links)
+            rows = np.repeat(
+                np.arange(row0, row0 + n_paths, dtype=np.int64), lengths
+            )
+            pair_keys = np.unique(rows * np.int64(n_links) + cols)
+            counts = np.bincount(
+                pair_keys % np.int64(n_links), minlength=n_links
+            )
+            if len(state.support) < n_links:
+                state.support = np.concatenate(
+                    [
+                        state.support,
+                        np.zeros(n_links - len(state.support), dtype=np.int64),
+                    ]
+                )
+            state.support += counts
+
+            voted = state.voted
+            if len(voted) != len(self._links):
+                first_seen_append = state.first_seen.append
+                for lid in dict.fromkeys(cols.tolist()):
+                    if lid not in voted:
+                        voted.add(lid)
+                        first_seen_append(lid)
+
+        if n_updates:
+            unique_flows, inverse = np.unique(
+                run.upd_flows, return_inverse=True
+            )
+            totals = np.bincount(
+                inverse, weights=run.upd_counts.astype(np.float64)
+            ).astype(np.int64)
+            retrans = state.retransmissions
+            rows_list = list(map(state.row_by_flow.get, unique_flows.tolist()))
+            if None in rows_list:
+                # an update for a flow the columns never saw — replay.
                 self.mark_dirty(epoch)
                 return
             for row, extra in zip(rows_list, totals.tolist()):

@@ -16,10 +16,15 @@ process's peak RSS.  Every future speed claim is testable against it.
   silently drift.
 * :func:`write_bench_report` / :func:`format_bench_table` — persistence and
   the human-readable summary.
+* :class:`FleetBenchConfig` / :func:`run_fleet_bench` — the socket-ingest
+  measurement behind the document's v4 ``fleet`` block: agent processes
+  streaming wire frames at one analyzer over TCP/Unix sockets, plus the
+  backpressure and reconnect-recovery probes.
 
 The exported names are snapshot-tested (``tests/test_api_surface.py``).
 """
 
+from repro.bench.fleet import FleetBenchConfig, run_fleet_bench
 from repro.bench.runner import (
     BenchConfig,
     format_bench_table,
@@ -40,4 +45,6 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchSchemaError",
     "validate_bench_report",
+    "FleetBenchConfig",
+    "run_fleet_bench",
 ]

@@ -14,13 +14,13 @@ from typing import Any, Dict, List
 
 #: document schema version written by the current runner; bump on
 #: incompatible layout changes.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: every version the validator still reads (v1 artifacts predate executor
 #: backends, v2 artifacts predate binary/delta checkpoints and the
-#: materialized report view — both stay valid, they just cannot express the
-#: newer measurements).
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: materialized report view, v3 artifacts predate the fleet socket-ingest
+#: block — all stay valid, they just cannot express the newer measurements).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: exact top-level key set (identical across supported versions).
 TOP_LEVEL_KEYS = {
@@ -89,6 +89,23 @@ CHECKPOINT_KEYS_V3 = (
     "delta_save_seconds",
     "delta_restore_seconds",
 )
+
+#: version 4 adds an optional top-level ``fleet`` block: socket-ingest
+#: throughput per transport, backpressure engagements, and the reconnect
+#: recovery measurement (which doubles as a bit-identity correctness bar).
+FLEET_KEYS = {
+    "fabric",
+    "events",
+    "epochs",
+    "agents",
+    "shards",
+    "mode",
+    "transports",
+    "backpressure_engagements",
+    "reconnect",
+}
+
+FLEET_TRANSPORTS = ("tcp", "unix", "inproc")
 
 
 class BenchSchemaError(ValueError):
@@ -252,6 +269,69 @@ def _validate_run(errors: List[str], run: Any, where: str, version: int) -> None
     _require_number(errors, run.get("peak_rss_kb"), f"{where}.peak_rss_kb")
 
 
+def _validate_fleet(errors: List[str], fleet: Any) -> None:
+    where = "fleet"
+    if not isinstance(fleet, dict):
+        errors.append(f"{where} must be an object")
+        return
+    missing = FLEET_KEYS - set(fleet)
+    extra = set(fleet) - FLEET_KEYS
+    if missing:
+        errors.append(f"{where} is missing keys {sorted(missing)}")
+    if extra:
+        errors.append(f"{where} has unknown keys {sorted(extra)}")
+    for key in ("events", "epochs"):
+        if key in fleet:
+            _require_number(errors, fleet[key], f"{where}.{key}", positive=True)
+    for key in ("agents", "shards"):
+        value = fleet.get(key)
+        if key in fleet and (not isinstance(value, int) or value < 1):
+            errors.append(f"{where}.{key} must be an int >= 1")
+    if "mode" in fleet and fleet["mode"] not in ("events", "columns"):
+        errors.append(f"{where}.mode must be 'events' or 'columns'")
+    transports = fleet.get("transports")
+    if not isinstance(transports, dict) or not transports:
+        errors.append(f"{where}.transports must be a non-empty object")
+    else:
+        unknown = set(transports) - set(FLEET_TRANSPORTS)
+        if unknown:
+            errors.append(
+                f"{where}.transports has unknown transports {sorted(unknown)}"
+            )
+        for name in FLEET_TRANSPORTS:
+            if name in transports:
+                _validate_ingest(
+                    errors, transports[name], f"{where}.transports.{name}"
+                )
+    engagements = fleet.get("backpressure_engagements")
+    if "backpressure_engagements" in fleet and (
+        not isinstance(engagements, int) or engagements < 0
+    ):
+        errors.append(f"{where}.backpressure_engagements must be an int >= 0")
+    reconnect = fleet.get("reconnect")
+    if "reconnect" in fleet:
+        if not isinstance(reconnect, dict):
+            errors.append(f"{where}.reconnect must be an object")
+        else:
+            _require_number(
+                errors,
+                reconnect.get("recovery_seconds"),
+                f"{where}.reconnect.recovery_seconds",
+                positive=True,
+            )
+            redelivered = reconnect.get("redelivered_events")
+            if not isinstance(redelivered, int) or redelivered < 0:
+                errors.append(
+                    f"{where}.reconnect.redelivered_events must be an int >= 0"
+                )
+            if reconnect.get("bit_identical") is not True:
+                errors.append(
+                    f"{where}.reconnect.bit_identical must be true — a "
+                    "reconnect that changes reports is a correctness bug, "
+                    "not a perf number"
+                )
+
+
 def validate_bench_report(document: Any) -> Dict[str, Any]:
     """Validate a bench document; returns it unchanged or raises.
 
@@ -271,12 +351,17 @@ def validate_bench_report(document: Any) -> Dict[str, Any]:
             f"{SUPPORTED_SCHEMA_VERSIONS}"
         )
         version = BENCH_SCHEMA_VERSION
+    #: the fleet block arrived in v4 and stays optional (not every bench
+    #: run exercises the socket path).
+    allowed_keys = TOP_LEVEL_KEYS | ({"fleet"} if version >= 4 else set())
     missing = TOP_LEVEL_KEYS - set(document)
-    extra = set(document) - TOP_LEVEL_KEYS
+    extra = set(document) - allowed_keys
     if missing:
         errors.append(f"document is missing keys {sorted(missing)}")
     if extra:
         errors.append(f"document has unknown keys {sorted(extra)}")
+    if version >= 4 and "fleet" in document:
+        _validate_fleet(errors, document["fleet"])
     if "created_unix" in document:
         _require_number(errors, document["created_unix"], "created_unix", positive=True)
     if not isinstance(document.get("generated_by"), str):

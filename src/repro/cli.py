@@ -14,6 +14,10 @@ Three subcommands cover the common workflows:
   ``BENCH_service.json`` perf artifact (``repro.bench``).
 * ``checkpoint`` — inspect, convert (JSON <-> binary) and merge (delta onto
   base) service checkpoints written by ``Checkpoint.save``.
+* ``fleet`` — the distributed deployment: ``fleet analyzer`` serves the
+  socket ingest front-end, ``fleet agent`` streams one agent's evidence
+  slice at it, and ``fleet run`` orchestrates N agents + one analyzer on
+  localhost into a self-describing run directory (``repro.fleet``).
 * ``theory`` — evaluate Theorems 1 and 2 for a given topology sizing.
 
 Installed as the ``repro-007`` console script; also runnable via
@@ -253,6 +257,24 @@ def build_parser() -> argparse.ArgumentParser:
         "run into DIR",
     )
     bench.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also measure socket ingest (tcp/unix/inproc agents) and record "
+        "the v4 'fleet' block",
+    )
+    bench.add_argument(
+        "--fleet-agents",
+        type=int,
+        default=4,
+        help="agent sender processes for the fleet measurement",
+    )
+    bench.add_argument(
+        "--fleet-events",
+        type=int,
+        default=400_000,
+        help="total events of the fleet measurement (multiple of 4 epochs)",
+    )
+    bench.add_argument(
         "--quiet", action="store_true", help="suppress per-epoch progress lines"
     )
 
@@ -292,6 +314,177 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["binary", "json"],
         default="binary",
         help="serialization to write (default: binary)",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="distributed fleet: socket analyzer, agent senders, run orchestration",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_workload_arguments(command, events_default: int) -> None:
+        command.add_argument(
+            "--fabric",
+            default="tiny",
+            choices=["tiny", "small", "medium", "large"],
+            help="fabric preset the synthetic workload is generated over",
+        )
+        command.add_argument(
+            "--profile",
+            choices=["uniform", "skewed", "hot-tor"],
+            default="skewed",
+            help="traffic mix of the synthetic workload",
+        )
+        command.add_argument(
+            "--timeline",
+            choices=["none", "flap", "burst"],
+            default="none",
+            help="scripted failure timeline biasing the workload over time",
+        )
+        command.add_argument("--epochs", type=int, default=3)
+        command.add_argument(
+            "--events-per-epoch", type=int, default=events_default
+        )
+        command.add_argument("--seed", type=int, default=7)
+        command.add_argument(
+            "--chunk-events",
+            type=int,
+            default=1024,
+            help="evidence events per wire chunk",
+        )
+
+    fleet_analyzer = fleet_sub.add_parser(
+        "analyzer",
+        help="serve the socket ingest front-end until a query-socket shutdown",
+    )
+    fleet_analyzer.add_argument(
+        "--bind",
+        default="tcp:127.0.0.1:0",
+        help="evidence listener endpoint (tcp:HOST:PORT or unix:/PATH; "
+        "port 0 = kernel-assigned)",
+    )
+    fleet_analyzer.add_argument(
+        "--query-bind",
+        default="tcp:127.0.0.1:0",
+        help="newline-JSON query listener endpoint",
+    )
+    fleet_analyzer.add_argument(
+        "--num-agents",
+        type=int,
+        default=1,
+        help="agents whose ticks form each epoch's finalize barrier",
+    )
+    fleet_analyzer.add_argument(
+        "--mode",
+        choices=["events", "columns"],
+        default="events",
+        help="ingest core: decoded events through a real service, or the "
+        "arrays-only columnar fold",
+    )
+    fleet_analyzer.add_argument(
+        "--engine", choices=["arrays", "dicts"], default="arrays"
+    )
+    fleet_analyzer.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="service shards behind the events mode (1 = unsharded)",
+    )
+    fleet_analyzer.add_argument(
+        "--backend",
+        choices=["inline", "process"],
+        default="inline",
+        help="shard executor backend when --shards > 1",
+    )
+    fleet_analyzer.add_argument("--workers", type=int, default=None)
+    fleet_analyzer.add_argument("--retain-reports", type=int, default=16)
+    fleet_analyzer.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of agent silence before the connection is dropped",
+    )
+    fleet_analyzer.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound endpoints as JSON here once listening "
+        "(how the runner discovers kernel-assigned ports)",
+    )
+
+    fleet_agent = fleet_sub.add_parser(
+        "agent",
+        help="stream one agent's deterministic workload slice at an analyzer",
+    )
+    fleet_agent.add_argument("--agent-id", required=True)
+    fleet_agent.add_argument(
+        "--connect", required=True, help="analyzer evidence endpoint"
+    )
+    fleet_agent.add_argument("--agent-index", type=int, required=True)
+    fleet_agent.add_argument("--num-agents", type=int, required=True)
+    _fleet_workload_arguments(fleet_agent, events_default=4000)
+    fleet_agent.add_argument(
+        "--fail-after-events",
+        type=int,
+        default=None,
+        help="scripted chaos: die mid-run (exit 17, socket left severed) "
+        "after sending this many events",
+    )
+    fleet_agent.add_argument(
+        "--log",
+        metavar="PATH",
+        default=None,
+        help="append lifecycle events as JSONL here",
+    )
+
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="orchestrate N agents + one analyzer on localhost into a run dir",
+    )
+    fleet_run.add_argument(
+        "--run-dir",
+        required=True,
+        help="directory for meta.json / summary.json / per-agent JSONL",
+    )
+    fleet_run.add_argument(
+        "--transport", choices=["tcp", "unix"], default="tcp"
+    )
+    fleet_run.add_argument("--agents", type=int, default=4)
+    fleet_run.add_argument("--shards", type=int, default=2)
+    fleet_run.add_argument(
+        "--mode", choices=["events", "columns"], default="events"
+    )
+    fleet_run.add_argument(
+        "--engine", choices=["arrays", "dicts"], default="arrays"
+    )
+    fleet_run.add_argument(
+        "--backend", choices=["inline", "process"], default="inline"
+    )
+    fleet_run.add_argument("--workers", type=int, default=None)
+    _fleet_workload_arguments(fleet_run, events_default=4000)
+    fleet_run.add_argument(
+        "--kill-agent",
+        type=int,
+        default=None,
+        help="index of the agent to kill mid-run and relaunch",
+    )
+    fleet_run.add_argument(
+        "--kill-after-events",
+        type=int,
+        default=None,
+        help="events the victim sends before dying "
+        "(default: half its share)",
+    )
+    fleet_run.add_argument(
+        "--no-verify-replay",
+        action="store_true",
+        help="skip the bit-identity check against a single-process replay",
+    )
+    fleet_run.add_argument(
+        "--timeout",
+        type=float,
+        default=180.0,
+        help="hard deadline on the whole run, seconds",
     )
 
     theory = subparsers.add_parser("theory", help="evaluate Theorems 1 and 2")
@@ -505,6 +698,21 @@ def _run_bench_command(args: argparse.Namespace, out) -> int:
         return 2
     progress = None if args.quiet else (lambda message: print(message, file=out))
     document = run_service_bench(config, progress=progress)
+    if args.fleet:
+        from repro.bench.fleet import FleetBenchConfig, run_fleet_bench
+
+        try:
+            fleet_config = FleetBenchConfig(
+                fabric=args.fabric,
+                events=args.fleet_events,
+                agents=args.fleet_agents,
+                profile=args.profile,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        document["fleet"] = run_fleet_bench(fleet_config, progress=progress)
     print(format_bench_table(document), file=out)
     if args.json == "-":
         print(json_module.dumps(document, indent=2, sort_keys=True), file=out)
@@ -612,6 +820,191 @@ def _run_checkpoint_command(args: argparse.Namespace, out) -> int:
     )  # pragma: no cover
 
 
+def _run_fleet_analyzer_command(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import os
+
+    from repro.fleet.analyzer import (
+        ColumnarIngestCore,
+        FleetAnalyzer,
+        ServiceIngestCore,
+    )
+    from repro.fleet.protocol import parse_endpoint
+
+    if args.mode == "columns":
+        if args.engine != "arrays":
+            print("error: the columns mode is arrays-only", file=sys.stderr)
+            return 2
+        core = ColumnarIngestCore(retain_reports=args.retain_reports)
+    else:
+        from repro.api.service import Zero07Service
+        from repro.api.sharded import ShardedService
+
+        if args.shards == 1:
+            service = Zero07Service(
+                engine=args.engine, retain_reports=args.retain_reports
+            )
+        else:
+            service = ShardedService(
+                num_shards=args.shards,
+                engine=args.engine,
+                backend=args.backend,
+                workers=args.workers,
+                retain_reports=args.retain_reports,
+            )
+        core = ServiceIngestCore(service)
+    analyzer = FleetAnalyzer(
+        core,
+        expected_agents=args.num_agents,
+        idle_timeout=args.idle_timeout,
+    )
+
+    async def serve() -> None:
+        bound, query_bound = await analyzer.start(
+            parse_endpoint(args.bind), parse_endpoint(args.query_bind)
+        )
+        ready = {"evidence": str(bound), "query": str(query_bound)}
+        if args.ready_file is not None:
+            # atomic publish: the runner reads the file as soon as it exists.
+            tmp = args.ready_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(ready, sort_keys=True) + "\n")
+            os.replace(tmp, args.ready_file)
+        print(
+            f"FLEET-ANALYZER READY evidence={ready['evidence']} "
+            f"query={ready['query']}",
+            file=out,
+            flush=True,
+        )
+        await analyzer.run()
+
+    asyncio.run(serve())
+    print(
+        f"fleet analyzer done: {analyzer.stats.evidence_events} events from "
+        f"{len(analyzer.agents)} agent(s), "
+        f"{analyzer.stats.epochs_finalized} epoch(s) finalized",
+        file=out,
+    )
+    return 0
+
+
+def _run_fleet_agent_command(args: argparse.Namespace, out) -> int:
+    from repro.fleet.agent import FleetAgentClient, jsonl_logger
+    from repro.fleet.protocol import parse_endpoint
+    from repro.fleet.runner import build_generator
+
+    generator = build_generator(
+        args.fabric, args.profile, args.timeline, args.seed,
+        args.events_per_epoch,
+    )
+    client = FleetAgentClient(
+        args.agent_id,
+        parse_endpoint(args.connect),
+        chunk_events=args.chunk_events,
+        reconnect_seed=args.seed * 10007 + args.agent_index,
+        fail_after_events=args.fail_after_events,
+        log=jsonl_logger(args.log) if args.log else None,
+    )
+    client.connect()
+    try:
+        for epoch in range(args.epochs):
+            client.send_run(
+                epoch,
+                generator.agent_events(
+                    epoch, args.agent_index, args.num_agents
+                ),
+            )
+            client.tick(epoch)
+        client.drain()
+    finally:
+        client.close()
+    stats = client.stats
+    print(
+        f"{args.agent_id}: {stats.events_sent} events in "
+        f"{stats.chunks_sent} chunk(s), {stats.reconnects} reconnect(s), "
+        f"{stats.redelivered_chunks} redelivered chunk(s)",
+        file=out,
+    )
+    return 0
+
+
+def _run_fleet_run_command(args: argparse.Namespace, out) -> int:
+    from repro.fleet.runner import FleetRunConfig, run_fleet
+
+    try:
+        config = FleetRunConfig(
+            run_dir=args.run_dir,
+            agents=args.agents,
+            shards=args.shards,
+            transport=args.transport,
+            mode=args.mode,
+            engine=args.engine,
+            backend=args.backend,
+            workers=args.workers,
+            fabric=args.fabric,
+            profile=args.profile,
+            timeline=args.timeline,
+            epochs=args.epochs,
+            events_per_epoch=args.events_per_epoch,
+            seed=args.seed,
+            chunk_events=args.chunk_events,
+            kill_agent=args.kill_agent,
+            kill_after_events=args.kill_after_events,
+            verify_replay=not args.no_verify_replay,
+            timeout=args.timeout,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        summary = run_fleet(
+            config, progress=lambda message: print(message, file=out)
+        )
+    except Exception as error:
+        print(f"error: fleet run failed: {error}", file=sys.stderr)
+        return 1
+    for entry in summary["epochs"]:
+        marker = (
+            ""
+            if entry.get("replay_match") is None
+            else (" replay=match" if entry["replay_match"] else " replay=DIFF")
+        )
+        print(
+            f"epoch {entry['epoch']}: {len(entry['truth'])} bad link(s), "
+            f"{len(entry['detected'])} detected{marker}",
+            file=out,
+        )
+    if summary.get("kill"):
+        kill = summary["kill"]
+        print(
+            f"scripted kill: agent-{kill['agent']} exit {kill['exit_code']}, "
+            f"recovered in {kill.get('recovery_seconds', 0.0):.2f}s",
+            file=out,
+        )
+    verdict = summary.get("replay_equivalent")
+    print(
+        f"fleet run {'converged' if summary['converged'] else 'FAILED'} in "
+        f"{summary['duration_seconds']:.2f}s; replay equivalence: "
+        f"{'not checked' if verdict is None else ('bit-identical' if verdict else 'MISMATCH')}",
+        file=out,
+    )
+    print(f"run directory: {args.run_dir}", file=out)
+    ok = summary["converged"] and verdict is not False
+    return 0 if ok else 1
+
+
+def _run_fleet_command(args: argparse.Namespace, out) -> int:
+    if args.fleet_command == "analyzer":
+        return _run_fleet_analyzer_command(args, out)
+    if args.fleet_command == "agent":
+        return _run_fleet_agent_command(args, out)
+    if args.fleet_command == "run":
+        return _run_fleet_run_command(args, out)
+    raise AssertionError(
+        f"unhandled fleet command {args.fleet_command!r}"
+    )  # pragma: no cover
+
+
 def _run_theory_command(args: argparse.Namespace, out) -> int:
     params = ClosParameters(
         npod=args.pods,
@@ -653,6 +1046,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_bench_command(args, out)
     if args.command == "checkpoint":
         return _run_checkpoint_command(args, out)
+    if args.command == "fleet":
+        return _run_fleet_command(args, out)
     if args.command == "theory":
         return _run_theory_command(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

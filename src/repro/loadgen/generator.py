@@ -592,6 +592,29 @@ class EvidenceLoadGenerator:
             out.append(EpochTick(epoch))
         return out
 
+    def agent_events(
+        self, epoch: int, agent_index: int, num_agents: int
+    ) -> List[Evidence]:
+        """Agent ``agent_index``'s contiguous slice of the epoch's evidence.
+
+        The fleet partitioning: agent ``i`` of ``n`` emits the events at
+        positions ``[i*len/n, (i+1)*len/n)`` of :meth:`epoch_events` (no
+        tick), keeping the original global sequence numbers.  Every agent
+        process regenerates only its own slice deterministically, and the
+        union across agents is exactly the single-process stream — which is
+        what makes a fleet run's reports comparable bit-for-bit against an
+        ``ingest_batch`` replay.
+        """
+        if not 0 <= agent_index < num_agents:
+            raise ValueError(
+                f"agent_index {agent_index} out of range for {num_agents} agents"
+            )
+        events = self.epoch_events(epoch, tick=False)
+        n = len(events)
+        lo = (agent_index * n) // num_agents
+        hi = ((agent_index + 1) * n) // num_agents
+        return events[lo:hi]
+
     def iter_epochs(
         self, epochs: int, tick: bool = True
     ) -> Iterator[Tuple[int, List[Evidence]]]:

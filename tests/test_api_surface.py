@@ -40,6 +40,8 @@ EXPECTED_EXPORTS = {
     # evidence transport
     "WireEncoder",
     "WireDecoder",
+    "WireRun",
+    "LinkRemap",
     "EvidenceColumnStore",
     "WireProtocolError",
     # checkpointing
@@ -50,6 +52,7 @@ EXPECTED_EXPORTS = {
     "ReplayEvidenceSource",
     "EvidenceRecorder",
     "path_evidence_stream",
+    "partition_evidence",
 }
 
 #: pinned signatures of the stable entry points.  The modules use
@@ -128,6 +131,41 @@ EXPECTED_BENCH_EXPORTS = {
     "BENCH_SCHEMA_VERSION",
     "BenchSchemaError",
     "validate_bench_report",
+    "FleetBenchConfig",
+    "run_fleet_bench",
+}
+
+#: pinned exports of the distributed fleet subsystem (``repro.fleet``):
+#: transport protocol, analyzer front-end, agent client, experiment runner.
+EXPECTED_FLEET_EXPORTS = {
+    # protocol
+    "FLEET_MAGIC",
+    "FLEET_PROTOCOL_VERSION",
+    "Endpoint",
+    "parse_endpoint",
+    "FrameReader",
+    "FleetProtocolError",
+    "TruncatedFrameError",
+    "FrameTooLargeError",
+    "UnknownFrameError",
+    "HandshakeError",
+    "VersionMismatchError",
+    "PeerError",
+    # analyzer
+    "FleetAnalyzer",
+    "AnalyzerThread",
+    "AnalyzerStats",
+    "ServiceIngestCore",
+    "ColumnarIngestCore",
+    # agent
+    "FleetAgentClient",
+    "AgentStats",
+    "KILL_EXIT_CODE",
+    # runner
+    "FleetRunConfig",
+    "run_fleet",
+    "validate_run_dir",
+    "FleetQueryClient",
 }
 
 #: pinned signatures of the loadgen/bench entry points.
@@ -141,6 +179,10 @@ EXPECTED_HARNESS_SIGNATURES = {
     "repro.loadgen.EvidenceLoadGenerator.epoch_events": (
         "(self, epoch: 'int', tick: 'bool' = True) -> 'List[Evidence]'"
     ),
+    "repro.loadgen.EvidenceLoadGenerator.agent_events": (
+        "(self, epoch: 'int', agent_index: 'int', num_agents: 'int') "
+        "-> 'List[Evidence]'"
+    ),
     "repro.loadgen.EvidenceLoadGenerator.stream": (
         "(self, epochs: 'int', tick: 'bool' = True) -> 'Iterator[Evidence]'"
     ),
@@ -152,6 +194,25 @@ EXPECTED_HARNESS_SIGNATURES = {
         "progress: 'Optional[Callable[[str], None]]' = None) -> 'Dict[str, Any]'"
     ),
     "repro.bench.validate_bench_report": "(document: 'Any') -> 'Dict[str, Any]'",
+    "repro.bench.run_fleet_bench": (
+        "(config: 'Optional[FleetBenchConfig]' = None, "
+        "progress: 'Optional[Callable[[str], None]]' = None) -> 'Dict'"
+    ),
+    "repro.fleet.run_fleet": (
+        "(config: 'FleetRunConfig', "
+        "progress: 'Optional[Callable[[str], None]]' = None) -> 'Dict'"
+    ),
+    "repro.fleet.FleetAgentClient.send_run": (
+        "(self, epoch: 'int', events: 'Sequence[Evidence]', "
+        "seqs: 'Optional[Sequence[int]]' = None) -> 'None'"
+    ),
+    "repro.fleet.FleetAnalyzer.__init__": (
+        "(self, core, expected_agents: 'int', "
+        "credit_bytes: 'int' = 8388608, "
+        "stage_limit_bytes: 'int' = 67108864, "
+        "idle_timeout: 'float' = 30.0, "
+        "handshake_timeout: 'float' = 10.0) -> 'None'"
+    ),
 }
 
 
@@ -190,6 +251,14 @@ def test_loadgen_and_bench_exports_are_exactly_the_snapshot():
                           (bench, EXPECTED_BENCH_EXPORTS)):
         for name in names:
             assert hasattr(module, name), f"{module.__name__}.{name} is missing"
+
+
+def test_fleet_exports_are_exactly_the_snapshot():
+    import repro.fleet as fleet
+
+    assert set(fleet.__all__) == EXPECTED_FLEET_EXPORTS
+    for name in EXPECTED_FLEET_EXPORTS:
+        assert hasattr(fleet, name), f"repro.fleet.{name} is missing"
 
 
 def test_loadgen_and_bench_signatures_are_pinned():

@@ -195,6 +195,40 @@ def test_peak_rss_stays_flat(document):
     )
 
 
+def test_fleet_socket_ingest_bar(document):
+    """The fleet bar: loopback TCP socket ingest >= 300k ev/s on medium.
+
+    Four agents stream pre-encoded wire frames at the asyncio analyzer over
+    real loopback sockets — handshake, framing, credit flow control and the
+    columnar ingest all inside the timed window.
+    """
+    assert "fleet" in document, (
+        "BENCH_service.json has no fleet block — regenerate it with "
+        "`repro-007 bench --fabric medium --events 1000000 --fleet`"
+    )
+    fleet = document["fleet"]
+    assert fleet["fabric"] == "medium"
+    tcp = fleet["transports"]["tcp"]["events_per_sec"]
+    assert tcp >= 300_000, (
+        f"recorded fleet TCP ingest {tcp:.0f} ev/s < 300k — the socket "
+        "transport path regressed"
+    )
+    # the unix and in-process lanes bound the transport overhead from above.
+    assert fleet["transports"]["unix"]["events_per_sec"] >= 300_000
+    assert fleet["transports"]["inproc"]["events_per_sec"] >= 300_000
+
+
+def test_fleet_backpressure_and_reconnect_are_on_record(document):
+    fleet = document["fleet"]
+    # the probe runs with a deliberately tiny staging bound, so the credit
+    # window must have engaged at least once.
+    assert fleet["backpressure_engagements"] >= 1
+    reconnect = fleet["reconnect"]
+    assert reconnect["bit_identical"] is True
+    assert reconnect["recovery_seconds"] > 0
+    assert reconnect["redelivered_events"] >= 0
+
+
 def test_recorded_epoch_counters_cover_the_whole_workload(document):
     config = document["config"]
     for run in document["runs"]:

@@ -100,6 +100,40 @@ def tiny_document():
     return run_service_bench(config)
 
 
+def valid_fleet_block():
+    """A hand-built fleet block shaped exactly like ``run_fleet_bench``'s."""
+    return {
+        "fabric": "medium",
+        "events": 400_000,
+        "epochs": 4,
+        "agents": 4,
+        "shards": 1,
+        "mode": "columns",
+        "transports": {
+            name: {
+                "events": 400_000,
+                "seconds": 1.0,
+                "events_per_sec": 400_000.0,
+            }
+            for name in ("tcp", "unix", "inproc")
+        },
+        "backpressure_engagements": 1,
+        "reconnect": {
+            "recovery_seconds": 0.04,
+            "redelivered_events": 1024,
+            "bit_identical": True,
+        },
+    }
+
+
+def as_version_3(document):
+    """The same document as a version-3 writer would have produced it."""
+    v3 = copy.deepcopy(document)
+    v3["schema_version"] = 3
+    v3.pop("fleet", None)
+    return v3
+
+
 def as_version_2(document):
     """The same document as a version-2 writer would have produced it."""
     v2 = copy.deepcopy(document)
@@ -224,6 +258,9 @@ class TestOlderVersionCompatibility:
     def test_version_2_documents_stay_readable(self, tiny_document):
         validate_bench_report(as_version_2(tiny_document))
 
+    def test_version_3_documents_stay_readable(self, tiny_document):
+        validate_bench_report(as_version_3(tiny_document))
+
     def test_version_1_rejects_version_2_keys(self, tiny_document):
         v1 = as_version_1(tiny_document)
         v1["runs"][0]["backend"] = "inline"
@@ -241,6 +278,74 @@ class TestOlderVersionCompatibility:
         del broken["runs"][0]["report_latency"]["cold_mean_seconds"]
         with pytest.raises(BenchSchemaError):
             validate_bench_report(broken)
+
+
+class TestFleetBlock:
+    """Version 4: the optional ``fleet`` socket-ingest block."""
+
+    def corrupt(self, document, mutate):
+        broken = copy.deepcopy(document)
+        broken["fleet"] = valid_fleet_block()
+        mutate(broken)
+        with pytest.raises(BenchSchemaError):
+            validate_bench_report(broken)
+
+    def test_document_with_fleet_block_is_valid(self, tiny_document):
+        document = copy.deepcopy(tiny_document)
+        document["fleet"] = valid_fleet_block()
+        validate_bench_report(document)
+
+    def test_fleet_block_stays_optional(self, tiny_document):
+        assert "fleet" not in tiny_document
+        validate_bench_report(tiny_document)
+
+    def test_version_3_documents_must_not_carry_a_fleet_block(
+        self, tiny_document
+    ):
+        v3 = as_version_3(tiny_document)
+        validate_bench_report(v3)  # without the block it reads fine ...
+        v3["fleet"] = valid_fleet_block()
+        with pytest.raises(BenchSchemaError):  # ... with it, it is drift
+            validate_bench_report(v3)
+
+    def test_rejects_missing_fleet_keys(self, tiny_document):
+        self.corrupt(tiny_document, lambda d: d["fleet"].pop("transports"))
+        self.corrupt(tiny_document, lambda d: d["fleet"].pop("reconnect"))
+
+    def test_rejects_unknown_fleet_keys(self, tiny_document):
+        self.corrupt(
+            tiny_document, lambda d: d["fleet"].update(warp_factor=9)
+        )
+
+    def test_rejects_unknown_transport(self, tiny_document):
+        def mutate(document):
+            document["fleet"]["transports"]["pigeon"] = {
+                "events": 1, "seconds": 1.0, "events_per_sec": 1.0
+            }
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_zero_transport_throughput(self, tiny_document):
+        def mutate(document):
+            document["fleet"]["transports"]["tcp"]["events_per_sec"] = 0.0
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_non_identical_reconnect(self, tiny_document):
+        def mutate(document):
+            document["fleet"]["reconnect"]["bit_identical"] = False
+
+        self.corrupt(tiny_document, mutate)
+
+    def test_rejects_bad_mode_and_counts(self, tiny_document):
+        self.corrupt(
+            tiny_document, lambda d: d["fleet"].update(mode="quantum")
+        )
+        self.corrupt(tiny_document, lambda d: d["fleet"].update(agents=0))
+        self.corrupt(
+            tiny_document,
+            lambda d: d["fleet"].update(backpressure_engagements=-1),
+        )
 
 
 class TestValidatorRejectsDrift:
