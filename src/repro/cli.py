@@ -18,6 +18,11 @@ Three subcommands cover the common workflows:
   socket ingest front-end, ``fleet agent`` streams one agent's evidence
   slice at it, and ``fleet run`` orchestrates N agents + one analyzer on
   localhost into a self-describing run directory (``repro.fleet``).
+* ``pack`` — the named scenario-pack library (``repro.scenarios``):
+  ``pack list`` shows the registry, ``pack validate`` schema-checks every
+  ``scenario.json``/``expected.json``, and ``pack run --all`` executes each
+  scenario against its committed golden metrics, deterministically at any
+  ``--workers`` count.
 * ``theory`` — evaluate Theorems 1 and 2 for a given topology sizing.
 
 Installed as the ``repro-007`` console script; also runnable via
@@ -487,6 +492,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard deadline on the whole run, seconds",
     )
 
+    pack = subparsers.add_parser(
+        "pack", help="run, list or validate the named scenario-pack library"
+    )
+    pack_sub = pack.add_subparsers(dest="pack_command", required=True)
+
+    def _pack_dir_argument(command) -> None:
+        command.add_argument(
+            "--dir",
+            default=None,
+            help="pack directory (default: $REPRO_SCENARIO_PACK, ./scenarios, "
+            "or the checkout's scenarios/)",
+        )
+
+    pack_list = pack_sub.add_parser("list", help="list the pack's scenarios")
+    _pack_dir_argument(pack_list)
+
+    pack_validate = pack_sub.add_parser(
+        "validate", help="schema-validate every scenario.json + expected.json"
+    )
+    _pack_dir_argument(pack_validate)
+
+    pack_run = pack_sub.add_parser(
+        "run", help="run scenarios and compare against their goldens"
+    )
+    _pack_dir_argument(pack_run)
+    pack_run.add_argument(
+        "names", nargs="*", help="scenario names to run (default with --all: every one)"
+    )
+    pack_run.add_argument(
+        "--all", action="store_true", help="run every scenario in the pack"
+    )
+    pack_run.add_argument(
+        "--workers", type=int, default=1, help="worker processes (results identical at any count)"
+    )
+    pack_run.add_argument(
+        "--update-goldens",
+        action="store_true",
+        help="write expected.json from this run instead of comparing",
+    )
+    pack_run.add_argument(
+        "--report-dir",
+        default=None,
+        help="write one <name>.report.json per scenario into this directory",
+    )
+
     theory = subparsers.add_parser("theory", help="evaluate Theorems 1 and 2")
     theory.add_argument("--pods", type=int, default=2)
     theory.add_argument("--tors-per-pod", type=int, default=20)
@@ -547,7 +597,12 @@ def _build_timeline(args: argparse.Namespace) -> Optional[ScenarioScript]:
 def _run_scenario_command(args: argparse.Namespace, out) -> int:
     if args.config is not None:
         with open(args.config) as handle:
-            config = ScenarioConfig.from_dict(json.load(handle))
+            data = json.load(handle)
+        if "pack_version" in data and "config" in data:
+            # a scenario-pack envelope (scenarios/<name>/scenario.json):
+            # run the wrapped config directly
+            data = data["config"]
+        config = ScenarioConfig.from_dict(data)
         script = config.script
     else:
         script = _build_timeline(args)
@@ -1005,6 +1060,112 @@ def _run_fleet_command(args: argparse.Namespace, out) -> int:
     )  # pragma: no cover
 
 
+def _run_pack_command(args: argparse.Namespace, out) -> int:
+    from repro.scenarios import (
+        PackValidationError,
+        compare_to_golden,
+        load_pack,
+        outcome_document,
+        run_pack,
+        write_golden,
+    )
+
+    try:
+        pack = load_pack(args.dir)
+    except PackValidationError as exc:
+        print(f"pack error: {exc}", file=out)
+        return 1
+
+    if args.pack_command == "list":
+        for name, scenario in pack.items():
+            golden = "golden" if scenario.expected is not None else "NO GOLDEN"
+            print(
+                f"{name}: {scenario.title or '(untitled)'} "
+                f"[epochs={scenario.config.epochs}, trials={scenario.trials}, "
+                f"{golden}]",
+                file=out,
+            )
+        return 0
+
+    if args.pack_command == "validate":
+        # load_pack already schema-validated every file; report what it saw.
+        missing = [n for n, s in pack.items() if s.expected is None]
+        print(f"{len(pack)} scenario(s) valid", file=out)
+        if missing:
+            print(f"missing goldens: {', '.join(missing)}", file=out)
+            return 1
+        return 0
+
+    # pack run ----------------------------------------------------------
+    if args.all and args.names:
+        print("pack run: pass either --all or scenario names, not both", file=out)
+        return 2
+    if args.all:
+        selected = list(pack.values())
+    elif args.names:
+        unknown = [name for name in args.names if name not in pack]
+        if unknown:
+            print(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(known: {', '.join(pack)})",
+                file=out,
+            )
+            return 2
+        selected = [pack[name] for name in args.names]
+    else:
+        print("pack run: give scenario names or --all", file=out)
+        return 2
+
+    runner = SweepRunner(workers=args.workers)
+    outcomes = run_pack(selected, runner=runner)
+
+    if args.report_dir is not None:
+        import os
+
+        os.makedirs(args.report_dir, exist_ok=True)
+
+    failed = False
+    for scenario in selected:
+        outcome = outcomes[scenario.name]
+        if args.update_goldens:
+            document = write_golden(scenario, outcome)
+            print(f"{scenario.name}: wrote {scenario.expected_path}", file=out)
+            violations: List[str] = []
+        elif scenario.expected is None:
+            document = outcome_document(outcome)
+            violations = [
+                "no expected.json committed (run with --update-goldens)"
+            ]
+        else:
+            document = outcome_document(outcome)
+            violations = compare_to_golden(scenario.expected, outcome)
+
+        if args.report_dir is not None:
+            report_path = f"{args.report_dir}/{scenario.name}.report.json"
+            with open(report_path, "w") as handle:
+                json.dump(
+                    {
+                        "scenario": scenario.name,
+                        "actual": document,
+                        "violations": violations,
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+
+        if not args.update_goldens:
+            if violations:
+                failed = True
+                print(f"{scenario.name}: FAIL", file=out)
+                for violation in violations:
+                    print(f"  {violation}", file=out)
+            else:
+                print(f"{scenario.name}: ok", file=out)
+    return 1 if failed else 0
+
+
 def _run_theory_command(args: argparse.Namespace, out) -> int:
     params = ClosParameters(
         npod=args.pods,
@@ -1048,6 +1209,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_checkpoint_command(args, out)
     if args.command == "fleet":
         return _run_fleet_command(args, out)
+    if args.command == "pack":
+        return _run_pack_command(args, out)
     if args.command == "theory":
         return _run_theory_command(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -88,13 +88,25 @@ class SweepRunner:
         return self._workers
 
     # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, returning results **in item order**.
+
+        The generic fan-out primitive behind :meth:`run_tasks` (and the
+        scenario-pack runner): serial in-process when ``workers <= 1`` or
+        there is at most one item, otherwise an order-preserving
+        ``Pool.map`` — so results are identical at any worker count as long
+        as ``fn`` is a pure function of its item.  With ``workers > 1``,
+        ``fn`` and the items must be picklable (use module-level functions).
+        """
+        if self._workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        context = multiprocessing.get_context(self._mp_context)
+        with context.Pool(processes=min(self._workers, len(items))) as pool:
+            return pool.map(fn, items)
+
     def run_tasks(self, tasks: Sequence[SweepTask]) -> List[Dict[str, float]]:
         """Execute tasks, returning their metric dicts in task order."""
-        if self._workers <= 1 or len(tasks) <= 1:
-            return [_run_task(task) for task in tasks]
-        context = multiprocessing.get_context(self._mp_context)
-        with context.Pool(processes=min(self._workers, len(tasks))) as pool:
-            return pool.map(_run_task, tasks)
+        return self.map(_run_task, tasks)
 
     def run_trials(
         self,

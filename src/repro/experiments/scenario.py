@@ -23,6 +23,7 @@ from repro.core.pipeline import SystemConfig, Zero07System
 from repro.core.votes import VotePolicy
 from repro.metrics.evaluation import (
     DetectionScore,
+    detection_latencies,
     detection_precision_recall,
     false_alarm_rate_after_clear,
     mean_time_to_detection,
@@ -84,8 +85,9 @@ class ScenarioConfig:
     minor_drop_rate_range: Tuple[float, float] = (1e-4, 1e-3)
 
     #: optional time-varying timeline (flaps, bursts, reboots, drains,
-    #: traffic shifts) applied on top of the static ``failure_kind``
-    #: injection; makes the ground truth vary per epoch.
+    #: linecard failures, fabric expansions, traffic shifts) applied on top
+    #: of the static ``failure_kind`` injection; makes the ground truth vary
+    #: per epoch.
     script: Optional[ScenarioScript] = None
 
     # run ----------------------------------------------------------------
@@ -273,16 +275,28 @@ class ScenarioResult:
         """Epochs from each failure's onset to its first in-window detection."""
         return time_to_detection(self.detected_by_epoch(), self._truth_links_by_epoch())
 
+    def detection_latencies_007(self) -> Dict[DirectedLink, List[Optional[int]]]:
+        """Per-episode detection latency for every link that ever went bad."""
+        return detection_latencies(
+            self.detected_by_epoch(), self._truth_links_by_epoch()
+        )
+
     def mean_time_to_detection_007(self) -> float:
         """Mean detection latency in epochs (``nan`` when nothing was detected)."""
         return mean_time_to_detection(
             self.detected_by_epoch(), self._truth_links_by_epoch()
         )
 
-    def false_alarm_rate_007(self) -> float:
-        """Rate of stale detections after failures cleared (``nan`` if none cleared)."""
+    def false_alarm_rate_007(self, include_gaps: bool = False) -> float:
+        """Rate of stale detections after failures cleared (``nan`` if none cleared).
+
+        See :func:`repro.metrics.evaluation.false_alarm_rate_after_clear`
+        for the ``include_gaps`` semantics on flapping truth.
+        """
         return false_alarm_rate_after_clear(
-            self.detected_by_epoch(), self._truth_links_by_epoch()
+            self.detected_by_epoch(),
+            self._truth_links_by_epoch(),
+            include_gaps=include_gaps,
         )
 
     # ------------------------------------------------------------------

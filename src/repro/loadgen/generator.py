@@ -36,6 +36,8 @@ from repro.discovery.agent import DiscoveredPath
 from repro.loadgen.profiles import WorkloadProfile, fabric_parameters
 from repro.netsim.script import (
     CongestionBurst,
+    FabricExpansion,
+    LinecardFailure,
     LinkDrain,
     LinkFlap,
     ScenarioScript,
@@ -76,10 +78,11 @@ class EvidenceLoadGenerator:
     profile:
         The :class:`WorkloadProfile` (defaults to the uniform mix).
     script:
-        Optional :class:`ScenarioScript`; its flap/burst/drain/reboot events
-        are resolved (seeded random victims included) into time-varying
-        bad-link windows that bias evidence during the scripted epochs.
-        ``TrafficShift`` events carry no failure information and are ignored.
+        Optional :class:`ScenarioScript`; its flap/burst/drain/reboot/
+        linecard/expansion events are resolved (seeded random victims
+        included) into time-varying bad-link windows that bias evidence
+        during the scripted epochs.  ``TrafficShift`` events carry no
+        failure information and are ignored.
     seed:
         Master seed; the whole stream is a pure function of
         ``(fabric, profile, script, seed, events_per_epoch)``.
@@ -294,6 +297,20 @@ class EvidenceLoadGenerator:
                 victims = self._switch_victims(event, rng)
                 end = event.epoch + max(1, event.outage_epochs)
                 windows.append((event.epoch, end, victims))
+            elif isinstance(event, LinecardFailure):
+                victims = self._linecard_victims(event, rng)
+                windows.append((event.start_epoch, event.end_epoch, victims))
+            elif isinstance(event, FabricExpansion):
+                # Expansion links are dark (blackholed) until the cutover
+                # epoch: evidence concentrates on them during [0, epoch).
+                if event.epoch > 0:
+                    name = self._pick_switch(
+                        event.switch,
+                        event.tier if event.tier is not None else SwitchTier.T2,
+                        rng,
+                    )
+                    victims = self._all_directions_of(name)
+                    windows.append((0, event.epoch, victims))
             # TrafficShift carries no failure; popularity is profile-driven.
         resolved: List[Tuple[int, int, List[_BadLinkSpec]]] = []
         for start, end, victims in windows:
@@ -335,20 +352,55 @@ class EvidenceLoadGenerator:
                 victims.append(self._links[(chosen.src, chosen.dst)])
         return victims
 
+    def _pick_switch(
+        self, name: Optional[str], tier: SwitchTier, rng: np.random.Generator
+    ) -> Optional[str]:
+        if name is not None:
+            return name
+        candidates = sorted(
+            s.name for s in self._topology.switches_of_tier(tier)
+        )
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+    def _all_directions_of(self, name: Optional[str]) -> List[DirectedLink]:
+        if name is None:
+            return []
+        victims: List[DirectedLink] = []
+        for link in self._topology.links_of_node(name):
+            for d in link.directions():
+                victims.append(self._links[(d.src, d.dst)])
+        return victims
+
     def _switch_victims(
         self, event: SwitchReboot, rng: np.random.Generator
     ) -> List[DirectedLink]:
-        topo = self._topology
-        name = event.switch
+        name = self._pick_switch(
+            event.switch,
+            event.tier if event.tier is not None else SwitchTier.T1,
+            rng,
+        )
+        return self._all_directions_of(name)
+
+    def _linecard_victims(
+        self, event: LinecardFailure, rng: np.random.Generator
+    ) -> List[DirectedLink]:
+        name = self._pick_switch(
+            event.switch,
+            event.tier if event.tier is not None else SwitchTier.T1,
+            rng,
+        )
         if name is None:
-            tier = event.tier if event.tier is not None else SwitchTier.T1
-            candidates = sorted(s.name for s in topo.switches_of_tier(tier))
-            if not candidates:
-                return []
-            name = candidates[int(rng.integers(0, len(candidates)))]
+            return []
+        candidates = sorted(self._topology.links_of_node(name))
+        if not candidates:
+            return []
+        count = min(event.num_links, len(candidates))
+        chosen = rng.choice(len(candidates), size=count, replace=False)
         victims: List[DirectedLink] = []
-        for link in topo.links_of_node(name):
-            for d in link.directions():
+        for idx in sorted(int(i) for i in chosen):
+            for d in candidates[idx].directions():
                 victims.append(self._links[(d.src, d.dst)])
         return victims
 

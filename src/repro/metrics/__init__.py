@@ -2,6 +2,7 @@
 
 from repro.metrics.evaluation import (
     DetectionScore,
+    detection_latencies,
     detection_precision_recall,
     false_alarm_rate_after_clear,
     mean_time_to_detection,
@@ -13,6 +14,7 @@ from repro.metrics.evaluation import (
 
 __all__ = [
     "DetectionScore",
+    "detection_latencies",
     "detection_precision_recall",
     "false_alarm_rate_after_clear",
     "mean_time_to_detection",

@@ -156,31 +156,80 @@ def _active_epochs(
     return active
 
 
-def time_to_detection(
+def _episodes(
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]], physical: bool
+) -> Dict:
+    """Map each ever-bad link to its *episodes*: maximal runs of consecutive
+    bad epochs.  A link flapping over ``[2, 4)`` and again over ``[6, 8)``
+    has two episodes, ``[2, 3]`` and ``[6, 7]``."""
+    episodes: Dict = {}
+    for link, epochs in _active_epochs(truth_by_epoch, physical).items():
+        runs = [[epochs[0]]]
+        for epoch in epochs[1:]:
+            if epoch == runs[-1][-1] + 1:
+                runs[-1].append(epoch)
+            else:
+                runs.append([epoch])
+        episodes[link] = runs
+    return episodes
+
+
+def detection_latencies(
     detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
     truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
     physical: bool = False,
 ) -> Dict:
-    """Detection latency (in epochs) for every link that ever went bad.
+    """Per-episode detection latency for every link that ever went bad.
 
-    For each link appearing in the ground truth of any epoch: the number of
-    epochs between the link first becoming bad and the first epoch in which
-    007 flagged it *while it was bad* (0 = caught in the first bad epoch).
-    ``None`` when the link was never flagged during any of its bad epochs —
-    detections of an already-cleared link do not count; they are false alarms,
+    For each link, one entry per failure *episode* (maximal run of
+    consecutive bad epochs), in time order: the number of epochs between the
+    episode starting and the first epoch inside it in which 007 flagged the
+    link (0 = caught in the episode's first epoch), or ``None`` when the
+    link was never flagged during that episode.  On intermittent/flapping
+    truth, every recurrence is scored independently — a link detected in its
+    first bad window and missed in its second yields ``[0, None]``.
+    Detections *between* episodes do not count; they are false alarms,
     measured by :func:`false_alarm_rate_after_clear`.
     """
     _check_epoch_alignment(detected_by_epoch, truth_by_epoch)
     detected_sets = [_normalize(d, physical) for d in detected_by_epoch]
     latencies: Dict = {}
-    for link, epochs in _active_epochs(truth_by_epoch, physical).items():
-        first_bad = epochs[0]
-        latencies[link] = None
-        for epoch in epochs:
-            if link in detected_sets[epoch]:
-                latencies[link] = epoch - first_bad
-                break
+    for link, runs in _episodes(truth_by_epoch, physical).items():
+        per_episode = []
+        for run in runs:
+            latency = None
+            for epoch in run:
+                if link in detected_sets[epoch]:
+                    latency = epoch - run[0]
+                    break
+            per_episode.append(latency)
+        latencies[link] = per_episode
     return latencies
+
+
+def time_to_detection(
+    detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
+    physical: bool = False,
+) -> Dict:
+    """First-detection latency (in epochs) for every link that ever went bad.
+
+    For each link appearing in the ground truth of any epoch: the
+    within-episode latency of the link's first *detected* failure episode
+    (0 = caught in that episode's first epoch), or ``None`` when no episode
+    was ever detected.  Latency is always measured from the start of the
+    episode the detection landed in — a link that flaps, clears, and is
+    caught immediately when it comes back scores 0, not the gap-spanning
+    distance from its first-ever bad epoch.  Per-episode detail (including
+    missed recurrences) is in :func:`detection_latencies`.
+    """
+    latencies = detection_latencies(
+        detected_by_epoch, truth_by_epoch, physical=physical
+    )
+    return {
+        link: next((lat for lat in per_episode if lat is not None), None)
+        for link, per_episode in latencies.items()
+    }
 
 
 def mean_time_to_detection(
@@ -188,12 +237,22 @@ def mean_time_to_detection(
     truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
     physical: bool = False,
 ) -> float:
-    """Mean detection latency over the links that *were* detected (``nan`` if none)."""
+    """Mean latency over every *detected* failure episode (``nan`` if none).
+
+    Episode-weighted: a link that failed twice and was caught both times
+    contributes two latencies, so re-detections of flapping links count
+    instead of being discarded after the first window.  Undetected episodes
+    are excluded from the mean (coverage is recall's job); when no episode
+    was ever detected the mean is ``nan`` — callers aggregating across
+    trials must treat ``nan`` as "no data", not as a value
+    (:func:`repro.experiments.runner.run_sweep` does).
+    """
     latencies = [
         latency
-        for latency in time_to_detection(
+        for per_episode in detection_latencies(
             detected_by_epoch, truth_by_epoch, physical=physical
         ).values()
+        for latency in per_episode
         if latency is not None
     ]
     if not latencies:
@@ -205,14 +264,23 @@ def false_alarm_rate_after_clear(
     detected_by_epoch: Sequence[Iterable[DirectedLink | Link]],
     truth_by_epoch: Sequence[Iterable[DirectedLink | Link]],
     physical: bool = False,
+    include_gaps: bool = False,
 ) -> float:
     """How often 007 keeps blaming a link after its failure has cleared.
 
-    Over every (link, epoch) pair where the link is *not* bad in that epoch
-    but had been bad in some earlier epoch: the fraction in which the link is
-    still flagged.  0.0 means the votes decay cleanly once a transient clears
-    (the paper's requirement that stale failures stop drawing blame);
-    ``nan`` when no failure ever cleared inside the observed window.
+    Over every (link, epoch) pair counted as a *clear* opportunity: the
+    fraction in which the link is still flagged.  0.0 means the votes decay
+    cleanly once a transient clears (the paper's requirement that stale
+    failures stop drawing blame); ``nan`` when no failure ever cleared
+    inside the observed window.
+
+    By default only the epochs after a link's *final* bad epoch count as
+    opportunities.  Gaps between an intermittent link's failure episodes are
+    excluded: blaming a genuinely flapping link during a short quiet window
+    is a timeliness artefact, not stale blame, and those epochs are already
+    penalized by per-epoch precision.  Pass ``include_gaps=True`` to also
+    count every in-gap epoch as an opportunity (the strictest reading, in
+    which any blame outside a bad epoch is a false alarm).
     """
     _check_epoch_alignment(detected_by_epoch, truth_by_epoch)
     detected_sets = [_normalize(d, physical) for d in detected_by_epoch]
@@ -220,8 +288,8 @@ def false_alarm_rate_after_clear(
     alarms = 0
     opportunities = 0
     for link, epochs in _active_epochs(truth_by_epoch, physical).items():
-        first_bad = epochs[0]
-        for epoch in range(first_bad + 1, len(truth_sets)):
+        start = (epochs[0] if include_gaps else epochs[-1]) + 1
+        for epoch in range(start, len(truth_sets)):
             if link in truth_sets[epoch]:
                 continue
             opportunities += 1

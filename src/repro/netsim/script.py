@@ -120,6 +120,58 @@ class LinkDrain:
 
 
 @dataclass(frozen=True)
+class LinecardFailure:
+    """Several links sharing one switch's linecard fail *together*.
+
+    The correlated-fault mode of Section 8: one linecard serves many ports, so
+    a single hardware fault takes a whole group of links down (or gray) at
+    once.  ``num_links`` physical links adjacent to ``switch`` are struck for
+    the window; ``blackhole=True`` (the default) takes them fully down, while
+    ``blackhole=False`` with a sub-1.0 ``drop_rate`` models a gray linecard
+    that drops silently instead of dying.
+    """
+
+    start_epoch: int
+    duration_epochs: int
+    num_links: int = 3
+    drop_rate: float = 1.0
+    blackhole: bool = True
+    #: concrete switch name; when ``None`` a random switch of ``tier`` is
+    #: chosen at compile time.
+    switch: Optional[str] = None
+    tier: Optional[SwitchTier] = SwitchTier.T1
+
+    @property
+    def end_epoch(self) -> int:
+        return self.start_epoch + self.duration_epochs
+
+
+@dataclass(frozen=True)
+class FabricExpansion:
+    """New capacity comes online mid-run: ``switch``'s links are dark before
+    ``epoch`` and healthy from ``epoch`` onward.
+
+    Models the expansion cutover: freshly-installed links blackhole every
+    packet hashed onto them until the cutover epoch (the
+    racked-but-misconfigured window operators fear), then turn healthy — 007
+    must both flag the dark links while they drop and stop blaming them the
+    epoch the cutover lands.
+    """
+
+    epoch: int
+    #: concrete switch whose links come online; when ``None`` a random switch
+    #: of ``tier`` is chosen at compile time.
+    switch: Optional[str] = None
+    tier: Optional[SwitchTier] = SwitchTier.T2
+
+    @property
+    def end_epoch(self) -> int:
+        # the cutover epoch itself is part of the event: it must be simulated
+        # for the links' return to health to be observable.
+        return self.epoch + 1
+
+
+@dataclass(frozen=True)
 class TrafficShift:
     """Swap the traffic generator from ``epoch`` onward (workload change).
 
@@ -141,7 +193,15 @@ class TrafficShift:
         return self.epoch + 1
 
 
-ScenarioEvent = Union[LinkFlap, CongestionBurst, SwitchReboot, LinkDrain, TrafficShift]
+ScenarioEvent = Union[
+    LinkFlap,
+    CongestionBurst,
+    SwitchReboot,
+    LinkDrain,
+    LinecardFailure,
+    FabricExpansion,
+    TrafficShift,
+]
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +258,24 @@ def _event_to_dict(event: ScenarioEvent) -> dict:
             "link": None if event.link is None else [event.link.a, event.link.b],
             "level": None if event.level is None else int(event.level),
         }
+    if isinstance(event, LinecardFailure):
+        return {
+            "kind": "linecard",
+            "start_epoch": event.start_epoch,
+            "duration_epochs": event.duration_epochs,
+            "num_links": event.num_links,
+            "drop_rate": event.drop_rate,
+            "blackhole": event.blackhole,
+            "switch": event.switch,
+            "tier": None if event.tier is None else int(event.tier),
+        }
+    if isinstance(event, FabricExpansion):
+        return {
+            "kind": "expand",
+            "epoch": event.epoch,
+            "switch": event.switch,
+            "tier": None if event.tier is None else int(event.tier),
+        }
     if isinstance(event, TrafficShift):
         return {
             "kind": "shift",
@@ -246,6 +324,22 @@ def _event_from_dict(data: dict) -> ScenarioEvent:
             duration_epochs=int(data["duration_epochs"]),
             link=None if link is None else Link.of(link[0], link[1]),
             level=None if data.get("level") is None else LinkLevel(data["level"]),
+        )
+    if kind == "linecard":
+        return LinecardFailure(
+            start_epoch=int(data["start_epoch"]),
+            duration_epochs=int(data["duration_epochs"]),
+            num_links=int(data["num_links"]),
+            drop_rate=float(data["drop_rate"]),
+            blackhole=bool(data["blackhole"]),
+            switch=data.get("switch"),
+            tier=None if data.get("tier") is None else SwitchTier(data["tier"]),
+        )
+    if kind == "expand":
+        return FabricExpansion(
+            epoch=int(data["epoch"]),
+            switch=data.get("switch"),
+            tier=None if data.get("tier") is None else SwitchTier(data["tier"]),
         )
     if kind == "shift":
         connections = data.get("connections_per_host")
@@ -339,6 +433,38 @@ class ScenarioScript:
             LinkDrain(start_epoch=start, duration_epochs=duration, link=link, level=level)
         )
 
+    def linecard(
+        self,
+        start: int,
+        duration: int,
+        num_links: int = 3,
+        drop_rate: float = 1.0,
+        blackhole: bool = True,
+        switch: Optional[str] = None,
+        tier: Optional[SwitchTier] = SwitchTier.T1,
+    ) -> "ScenarioScript":
+        """``num_links`` links on one switch's linecard fail together."""
+        return self.add(
+            LinecardFailure(
+                start_epoch=start,
+                duration_epochs=duration,
+                num_links=num_links,
+                drop_rate=drop_rate,
+                blackhole=blackhole,
+                switch=switch,
+                tier=tier,
+            )
+        )
+
+    def expand_fabric(
+        self,
+        epoch: int,
+        switch: Optional[str] = None,
+        tier: Optional[SwitchTier] = SwitchTier.T2,
+    ) -> "ScenarioScript":
+        """``switch``'s links are dark until ``epoch``, healthy from then on."""
+        return self.add(FabricExpansion(epoch=epoch, switch=switch, tier=tier))
+
     def shift_traffic(self, epoch: int, traffic: str = "uniform", **kwargs) -> "ScenarioScript":
         """Swap the workload from ``epoch`` onward."""
         return self.add(TrafficShift(epoch=epoch, traffic=traffic, **kwargs))
@@ -411,6 +537,11 @@ class CompiledScenarioScript:
         #: epoch of the shift most recently handed out (so a shift fires once
         #: even when epochs are driven from a nonzero start or with gaps).
         self._applied_shift_epoch: Optional[int] = None
+        #: the script's declared horizon — kept so :attr:`horizon` always
+        #: agrees with :attr:`ScenarioScript.horizon` for every event type
+        #: (e.g. a reboot's reseed epoch and an expansion's cutover epoch are
+        #: part of the event even though no failure is active during them).
+        self._declared_horizon = script.horizon
         for event in script.events:
             self._resolve(event)
 
@@ -469,6 +600,39 @@ class CompiledScenarioScript:
                         blackhole=True,
                     )
                 )
+        elif isinstance(event, LinecardFailure):
+            switch = event.switch if event.switch is not None else self._random_switch(
+                event.tier if event.tier is not None else SwitchTier.T1
+            )
+            for physical in self._linecard_links(switch, event.num_links):
+                for direction in physical.directions():
+                    self._schedule.add(
+                        TransientFailure(
+                            link=direction,
+                            drop_rate=event.drop_rate,
+                            start_epoch=event.start_epoch,
+                            duration_epochs=event.duration_epochs,
+                            blackhole=event.blackhole,
+                        )
+                    )
+        elif isinstance(event, FabricExpansion):
+            switch = event.switch if event.switch is not None else self._random_switch(
+                event.tier if event.tier is not None else SwitchTier.T2
+            )
+            # links are dark from the start of the run until the cutover; an
+            # expansion at epoch 0 has no dark window (links were always up).
+            if event.epoch > 0:
+                for physical in self._topology.links_of_node(switch):
+                    for direction in physical.directions():
+                        self._schedule.add(
+                            TransientFailure(
+                                link=direction,
+                                drop_rate=1.0,
+                                start_epoch=0,
+                                duration_epochs=event.epoch,
+                                blackhole=True,
+                            )
+                        )
         elif isinstance(event, TrafficShift):
             self._shifts[event.epoch] = event
         else:  # pragma: no cover - defensive
@@ -504,6 +668,19 @@ class CompiledScenarioScript:
             raise ValueError(f"topology has no switches of tier {tier!r}")
         return names[int(self._rng.integers(0, len(names)))]
 
+    def _linecard_links(self, switch: str, count: int) -> List[Link]:
+        """``count`` of ``switch``'s physical links, drawn without replacement."""
+        candidates = sorted(self._topology.links_of_node(switch))
+        if not candidates:
+            raise ValueError(f"switch {switch!r} has no links")
+        if count > len(candidates):
+            raise ValueError(
+                f"cannot fail {count} linecard links, switch {switch!r} "
+                f"only has {len(candidates)}"
+            )
+        chosen = self._rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[int(i)] for i in sorted(int(i) for i in chosen)]
+
     # -- epoch driving ---------------------------------------------------
     @property
     def schedule(self) -> TransientFailureSchedule:
@@ -512,10 +689,22 @@ class CompiledScenarioScript:
 
     @property
     def horizon(self) -> int:
-        """First epoch at which every resolved failure/reseed/shift has finished."""
+        """First epoch at which every resolved failure/reseed/shift has finished.
+
+        Always equals :attr:`ScenarioScript.horizon` of the source script: the
+        resolved-state horizon (failure windows, pending reseeds, traffic
+        shifts) is cross-checked against the declared per-event ``end_epoch``
+        horizon so neither side can silently drop a scenario's last scripted
+        epoch.
+        """
         reseed_horizon = max((epoch + 1 for epoch in self._reseeds), default=0)
         shift_horizon = max((epoch + 1 for epoch in self._shifts), default=0)
-        return max(self._schedule.horizon, reseed_horizon, shift_horizon)
+        return max(
+            self._schedule.horizon,
+            reseed_horizon,
+            shift_horizon,
+            self._declared_horizon,
+        )
 
     def apply_epoch(self, epoch: int) -> FailureScenario:
         """Apply all state changes due at ``epoch``; returns the active scenario.

@@ -1,0 +1,40 @@
+"""The named scenario-pack library.
+
+A *pack* is a directory of named, versioned scenario definitions
+(``scenarios/<name>/scenario.json``), each carrying a golden
+``expected.json`` of time-aware metrics with stated tolerances.  The loader
+validates every file against a strict schema (unknown keys and unsupported
+versions are rejected), the runner executes scenarios deterministically at
+any worker count through :class:`~repro.experiments.runner.SweepRunner`,
+and the comparator checks results against the committed goldens —
+``repro-007 pack run|list|validate`` is the CLI front-end and the
+``scenario-pack`` CI matrix job runs every scenario against its golden.
+"""
+
+from repro.scenarios.pack import (
+    PACK_VERSION,
+    PackScenario,
+    PackValidationError,
+    ScenarioOutcome,
+    compare_to_golden,
+    default_pack_dir,
+    load_pack,
+    load_scenario,
+    outcome_document,
+    run_pack,
+    write_golden,
+)
+
+__all__ = [
+    "PACK_VERSION",
+    "PackScenario",
+    "PackValidationError",
+    "ScenarioOutcome",
+    "compare_to_golden",
+    "default_pack_dir",
+    "load_pack",
+    "load_scenario",
+    "outcome_document",
+    "run_pack",
+    "write_golden",
+]

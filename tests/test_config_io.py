@@ -30,6 +30,12 @@ def full_script() -> ScenarioScript:
         .drain(start=3, duration=1, link=Link.of("t2-0", "pod1-t1-0"))
         .drain(start=5, duration=2, level=LinkLevel.HOST)
         .shift_traffic(epoch=7, traffic="skewed", connections_per_host=(10, 20))
+        .shift_traffic(epoch=9, traffic="hot_tor", hot_tor_skew=0.7)
+        .linecard(start=2, duration=3, num_links=2, drop_rate=0.05,
+                  blackhole=False, switch="pod0-t1-0")
+        .linecard(start=6, duration=1, tier=SwitchTier.T2)
+        .expand_fabric(epoch=4, switch="t2-1")
+        .expand_fabric(epoch=2, tier=SwitchTier.T1)
     )
 
 

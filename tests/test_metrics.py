@@ -7,8 +7,12 @@ import math
 import pytest
 
 from repro.metrics.evaluation import (
+    detection_latencies,
     detection_precision_recall,
+    false_alarm_rate_after_clear,
+    mean_time_to_detection,
     per_flow_accuracy,
+    time_to_detection,
     top_k_recall,
 )
 from repro.topology.elements import DirectedLink, Link
@@ -105,3 +109,90 @@ class TestTopKRecall:
 
     def test_no_true_links(self):
         assert top_k_recall([A], []) == 1.0
+
+
+def _timeline(epochs, bad=(), detected=()):
+    """Build (detected_by_epoch, truth_by_epoch): A is bad/detected in the
+    listed epochs, nothing else ever appears."""
+    truth = [[A] if epoch in bad else [] for epoch in range(epochs)]
+    hits = [[A] if epoch in detected else [] for epoch in range(epochs)]
+    return hits, truth
+
+
+class TestEpisodeAwareLatency:
+    """Flapping truth: A is bad over [1, 3) and again over [5, 7) of 8 epochs."""
+
+    FLAPPING = (1, 2, 5, 6)
+
+    def test_detection_latencies_scores_every_episode(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(2, 5))
+        assert detection_latencies(hits, truth) == {A: [1, 0]}
+
+    def test_missed_recurrence_is_recorded_not_discarded(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(1,))
+        assert detection_latencies(hits, truth) == {A: [0, None]}
+
+    def test_detection_between_episodes_does_not_count(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(3, 4))
+        assert detection_latencies(hits, truth) == {A: [None, None]}
+
+    def test_time_to_detection_measures_within_the_detected_episode(self):
+        # detected only when the failure *returns*: latency is 0 epochs into
+        # the second episode, not the 4-epoch gap-spanning distance from the
+        # first-ever bad epoch.
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(5,))
+        assert time_to_detection(hits, truth) == {A: 0}
+
+    def test_time_to_detection_none_when_never_caught(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=())
+        assert time_to_detection(hits, truth) == {A: None}
+
+    def test_mean_counts_every_detected_episode(self):
+        # caught immediately in episode 1 and one epoch late in episode 2:
+        # both recurrences contribute, mean = (0 + 1) / 2.
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(1, 6))
+        assert mean_time_to_detection(hits, truth) == pytest.approx(0.5)
+
+    def test_mean_is_nan_when_no_episode_was_detected(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=())
+        assert math.isnan(mean_time_to_detection(hits, truth))
+
+    def test_single_window_semantics_unchanged(self):
+        hits, truth = _timeline(6, bad=(2, 3), detected=(3,))
+        assert detection_latencies(hits, truth) == {A: [1]}
+        assert time_to_detection(hits, truth) == {A: 1}
+        assert mean_time_to_detection(hits, truth) == pytest.approx(1.0)
+
+
+class TestFalseAlarmAfterClear:
+    FLAPPING = (1, 2, 5, 6)
+
+    def test_gap_epochs_are_not_opportunities_by_default(self):
+        # blame during the quiet gap between the two episodes: by default
+        # only epoch 7 (after the *final* bad epoch) is an opportunity, and
+        # it is clean.
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(3,))
+        assert false_alarm_rate_after_clear(hits, truth) == 0.0
+
+    def test_include_gaps_restores_the_strict_counting(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(3,))
+        # opportunities: epochs 3, 4 (the gap) and 7 (after clear); one alarm.
+        rate = false_alarm_rate_after_clear(hits, truth, include_gaps=True)
+        assert rate == pytest.approx(1 / 3)
+
+    def test_stale_blame_after_final_clear_is_counted(self):
+        hits, truth = _timeline(8, bad=self.FLAPPING, detected=(7,))
+        assert false_alarm_rate_after_clear(hits, truth) == pytest.approx(1.0)
+
+    def test_nan_when_no_failure_ever_clears(self):
+        hits, truth = _timeline(4, bad=(2, 3), detected=())
+        assert math.isnan(false_alarm_rate_after_clear(hits, truth))
+
+    def test_single_window_semantics_unchanged(self):
+        # one window [1, 3) of 5 epochs: epochs 3 and 4 are opportunities
+        # under both countings.
+        hits, truth = _timeline(5, bad=(1, 2), detected=(4,))
+        assert false_alarm_rate_after_clear(hits, truth) == pytest.approx(0.5)
+        assert false_alarm_rate_after_clear(
+            hits, truth, include_gaps=True
+        ) == pytest.approx(0.5)

@@ -10,6 +10,8 @@ from repro.netsim.failures import TransientFailure, TransientFailureSchedule
 from repro.netsim.links import LinkStateTable
 from repro.netsim.script import (
     CongestionBurst,
+    FabricExpansion,
+    LinecardFailure,
     LinkFlap,
     ScenarioScript,
     TrafficShift,
@@ -158,6 +160,105 @@ class TestCompile:
         seed_after = router.seed_of(switch)
         compiled.apply_epoch(6)  # the reseed fires exactly once
         assert router.seed_of(switch) == seed_after
+
+
+class TestLinecardFailure:
+    def test_strikes_the_requested_number_of_links_on_one_switch(
+        self, small_topology, link_table
+    ):
+        switch = small_topology.switches_of_tier(SwitchTier.T1)[0].name
+        script = ScenarioScript().linecard(
+            start=1, duration=2, num_links=3, switch=switch
+        )
+        compiled = script.compile(small_topology, link_table, rng=0)
+
+        assert compiled.apply_epoch(0).bad_links == []
+        truth = compiled.apply_epoch(1)
+        victims = {link.undirected() for link in truth.bad_links}
+        assert len(victims) == 3
+        assert len(truth.bad_links) == 6  # both directions of each victim
+        adjacent = set(small_topology.links_of_node(switch))
+        assert victims <= adjacent
+        assert compiled.apply_epoch(3).bad_links == []
+
+    def test_gray_mode_applies_the_drop_rate_without_downing_links(
+        self, small_topology
+    ):
+        link_table = LinkStateTable(small_topology, rng=0)
+        switch = small_topology.switches_of_tier(SwitchTier.T1)[0].name
+        script = ScenarioScript().linecard(
+            start=0, duration=1, num_links=2, drop_rate=0.05,
+            blackhole=False, switch=switch,
+        )
+        compiled = script.compile(small_topology, link_table, rng=0)
+        truth = compiled.apply_epoch(0)
+        assert truth.bad_links
+        for link in truth.bad_links:
+            assert truth.drop_rates[link] == 0.05
+            assert not link_table.is_down(link.undirected())
+
+    def test_random_switch_matches_tier_and_is_seed_deterministic(
+        self, small_topology
+    ):
+        script = ScenarioScript().linecard(start=0, duration=1, tier=SwitchTier.T2)
+        names = set()
+        for _ in range(2):
+            table = LinkStateTable(small_topology, rng=0)
+            truth = script.compile(small_topology, table, rng=7).apply_epoch(0)
+            tier2 = {s.name for s in small_topology.switches_of_tier(SwitchTier.T2)}
+            touched = {link.src for link in truth.bad_links} & tier2
+            assert len(touched) == 1
+            names |= touched
+        assert len(names) == 1  # same rng seed -> same victim switch
+
+    def test_too_many_links_raises(self, small_topology, link_table):
+        switch = small_topology.switches_of_tier(SwitchTier.T2)[0].name
+        degree = len(small_topology.links_of_node(switch))
+        script = ScenarioScript().linecard(
+            start=0, duration=1, num_links=degree + 1, switch=switch
+        )
+        with pytest.raises(ValueError):
+            script.compile(small_topology, link_table, rng=0)
+
+
+class TestFabricExpansion:
+    def test_links_dark_before_cutover_healthy_after(self, small_topology):
+        link_table = LinkStateTable(small_topology, rng=0)
+        switch = small_topology.switches_of_tier(SwitchTier.T2)[0].name
+        script = ScenarioScript().expand_fabric(epoch=2, switch=switch)
+        compiled = script.compile(small_topology, link_table, rng=0)
+
+        expected = {
+            d
+            for link in small_topology.links_of_node(switch)
+            for d in link.directions()
+        }
+        for epoch in (0, 1):
+            truth = compiled.apply_epoch(epoch)
+            assert set(truth.bad_links) == expected
+            assert all(rate == 1.0 for rate in truth.drop_rates.values())
+        truth = compiled.apply_epoch(2)
+        assert truth.bad_links == []
+        assert all(
+            not link_table.is_down(link)
+            for link in small_topology.links_of_node(switch)
+        )
+
+    def test_expansion_at_epoch_zero_has_no_dark_window(
+        self, small_topology, link_table
+    ):
+        switch = small_topology.switches_of_tier(SwitchTier.T2)[0].name
+        script = ScenarioScript().expand_fabric(epoch=0, switch=switch)
+        compiled = script.compile(small_topology, link_table, rng=0)
+        assert compiled.apply_epoch(0).bad_links == []
+
+    def test_horizon_includes_the_cutover_epoch(self, small_topology, link_table):
+        script = ScenarioScript().expand_fabric(epoch=3)
+        assert script.horizon == 4
+        compiled = script.compile(small_topology, link_table, rng=0)
+        # the dark window is [0, 3); the cutover epoch itself must still be
+        # simulated for the links' return to health to be observable.
+        assert compiled.horizon == script.horizon == 4
 
 
 class TestTrafficShift:
